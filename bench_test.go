@@ -1,0 +1,209 @@
+package xivm
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"xivm/internal/bench"
+)
+
+// benchBytes returns the document size benchmarks use; override with
+// XIVM_BENCH_BYTES (e.g. 10485760 for the paper's 10MB class).
+func benchBytes() int {
+	if s := os.Getenv("XIVM_BENCH_BYTES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return bench.DefaultBytes
+}
+
+func smallBytes() int { return benchBytes() / 2 }
+
+func scaleSeries() []int {
+	n := benchBytes()
+	return []int{n / 4, n / 2, n, n * 2}
+}
+
+// BenchmarkFig18InsertBreakdown — Figure 18: per-phase insert propagation
+// breakdown for views Q1, Q3, Q6 across update classes.
+func BenchmarkFig18InsertBreakdown(b *testing.B) {
+	for _, vn := range []string{"Q1", "Q3", "Q6"} {
+		b.Run(vn, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.RunBreakdown(vn, true, benchBytes())
+			}
+		})
+	}
+}
+
+// BenchmarkFig19DeleteBreakdown — Figure 19: per-phase delete propagation
+// breakdown for views Q1, Q3, Q6.
+func BenchmarkFig19DeleteBreakdown(b *testing.B) {
+	for _, vn := range []string{"Q1", "Q3", "Q6"} {
+		b.Run(vn, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.RunBreakdown(vn, false, benchBytes())
+			}
+		})
+	}
+}
+
+// BenchmarkFig20AllViewsInsert — Figure 20: total insert propagation time
+// for all 35 view-update pairs.
+func BenchmarkFig20AllViewsInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAllPairs(true, benchBytes())
+	}
+}
+
+// BenchmarkFig21AllViewsDelete — Figure 21: total delete propagation time
+// for all 35 view-update pairs.
+func BenchmarkFig21AllViewsDelete(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAllPairs(false, benchBytes())
+	}
+}
+
+// BenchmarkFig22PathDepth100KB — Figure 22: deletion X1_L of varying depth
+// against view Q1, 100KB-class document.
+func BenchmarkFig22PathDepth100KB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunPathDepth(bench.SmallBytes)
+	}
+}
+
+// BenchmarkFig23PathDepth10MB — Figure 23: same series on the large
+// document class.
+func BenchmarkFig23PathDepth10MB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunPathDepth(benchBytes())
+	}
+}
+
+// BenchmarkFig24Annotations — Figure 24: fixed update X1_L against Q1
+// variants with varying val/cont annotations.
+func BenchmarkFig24Annotations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunAnnotations(smallBytes())
+	}
+}
+
+// BenchmarkFig25Scalability — Figure 25: view Q1, update A6_A, documents of
+// increasing size (insert and delete panels).
+func BenchmarkFig25Scalability(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.RunScalability(scaleSeries(), true)
+		}
+	})
+	b.Run("delete", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bench.RunScalability(scaleSeries(), false)
+		}
+	})
+}
+
+// BenchmarkFig26InsertVsFull — Figure 26: PINT/PIMT vs full recomputation.
+func BenchmarkFig26InsertVsFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunVsFull(true, benchBytes())
+	}
+}
+
+// BenchmarkFig27DeleteVsFull — Figure 27: PDDT/PDMT vs full recomputation.
+func BenchmarkFig27DeleteVsFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunVsFull(false, benchBytes())
+	}
+}
+
+// BenchmarkFig28VsIVMA — Figure 28: one-shot bulk propagation vs the
+// node-at-a-time IVMA competitor, view Q1, 100KB-class document.
+func BenchmarkFig28VsIVMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunVsIVMA(bench.SmallBytes)
+	}
+}
+
+// BenchmarkFig29SnowcapsQ4 — Figure 29: snowcaps vs leaves, view Q4.
+func BenchmarkFig29SnowcapsQ4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunSnowcapsVsLeaves("Q4", scaleSeries())
+	}
+}
+
+// BenchmarkFig30SnowcapsQ6 — Figure 30: snowcaps vs leaves, view Q6.
+func BenchmarkFig30SnowcapsQ6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunSnowcapsVsLeaves("Q6", scaleSeries())
+	}
+}
+
+// BenchmarkFig31SnowcapSplitQ4 — Figure 31: (R)/(U) split, view Q4.
+func BenchmarkFig31SnowcapSplitQ4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunSnowcapSplit("Q4", scaleSeries())
+	}
+}
+
+// BenchmarkFig32SnowcapSplitQ6 — Figure 32: (R)/(U) split, view Q6.
+func BenchmarkFig32SnowcapSplitQ6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunSnowcapSplit("Q6", scaleSeries())
+	}
+}
+
+var rulePercents = []int{20, 40, 60, 80, 100}
+
+// BenchmarkFig33RuleO1 — Figure 33: reduction rule O1 on/off.
+func BenchmarkFig33RuleO1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunRule("O1", rulePercents, bench.SmallBytes)
+	}
+}
+
+// BenchmarkFig34RuleO3 — Figure 34: reduction rule O3 on/off.
+func BenchmarkFig34RuleO3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunRule("O3", rulePercents, bench.SmallBytes)
+	}
+}
+
+// BenchmarkFig35RuleI5 — Figure 35: reduction rule I5 on/off.
+func BenchmarkFig35RuleI5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunRule("I5", rulePercents, bench.SmallBytes)
+	}
+}
+
+// BenchmarkAblationPruning — DESIGN.md §4: term pruning on/off.
+func BenchmarkAblationPruning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunPruningAblation(smallBytes())
+	}
+}
+
+// BenchmarkAblationJoin — DESIGN.md §4: structural vs nested-loop join.
+func BenchmarkAblationJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunJoinAblation(smallBytes())
+	}
+}
+
+// BenchmarkAblationLazy — eager vs deferred propagation over a churn-heavy
+// statement stream.
+func BenchmarkAblationLazy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunLazyAblation(smallBytes())
+	}
+}
+
+// BenchmarkAblationHolistic — binary structural joins vs the holistic path
+// join evaluator on full-view materialization.
+func BenchmarkAblationHolistic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.RunHolisticAblation(smallBytes())
+	}
+}

@@ -1,0 +1,238 @@
+// Command xivm maintains materialized views over an XML document while
+// applying update statements.
+//
+// Usage:
+//
+//	xivm -doc auction.xml \
+//	     -view 'Q1=for $b in doc("a")/site/people/person[@id] return $b/name/text()' \
+//	     -pattern 'V2=//a{ID}[//c{ID}]//b{ID}' \
+//	     [-policy snowcaps|leaves|cost] [-engine incr|lazy|full|ivma] [-rows] [-stats] \
+//	     'insert <x/> into /site' 'delete //person[phone]' …
+//
+// Views are declared either in the paper's conjunctive XQuery dialect
+// (-view) or directly as tree patterns (-pattern). Each trailing argument
+// is one update statement, applied in order; after each statement the tool
+// reports per-phase timings and row deltas, and -rows dumps view contents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xivm/internal/core"
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+	"xivm/internal/update"
+	"xivm/internal/view"
+	"xivm/internal/xmltree"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xivm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var views, patterns multiFlag
+	docPath := flag.String("doc", "", "XML document to load (required)")
+	flag.Var(&views, "view", "NAME=view definition (repeatable)")
+	flag.Var(&patterns, "pattern", "NAME=tree pattern (repeatable)")
+	policy := flag.String("policy", "snowcaps", "lattice policy: snowcaps or leaves")
+	engine := flag.String("engine", "incr", "maintenance engine: incr, lazy, full, or ivma")
+	showRows := flag.Bool("rows", false, "print view rows after each statement")
+	stats := flag.Bool("stats", false, "print per-phase timing breakdowns")
+	saveDir := flag.String("save", "", "directory to write per-view binary snapshots after all statements")
+	loadDir := flag.String("load", "", "directory to restore per-view snapshots from (instead of materializing)")
+	flag.Parse()
+
+	if *docPath == "" {
+		return fmt.Errorf("-doc is required")
+	}
+	f, err := os.Open(*docPath)
+	if err != nil {
+		return err
+	}
+	doc, err := xmltree.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{}
+	switch *policy {
+	case "snowcaps":
+	case "leaves":
+		opts.Policy = core.PolicyLeaves
+	case "cost":
+		opts.Policy = core.PolicyCost
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+	e := core.NewEngine(doc, opts)
+
+	addView := func(spec string, compile func(string) (*pattern.Pattern, error)) error {
+		name, src, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("view spec %q must be NAME=DEFINITION", spec)
+		}
+		p, err := compile(src)
+		if err != nil {
+			return fmt.Errorf("view %s: %w", name, err)
+		}
+		var mv *core.ManagedView
+		if *loadDir != "" {
+			data, err := os.ReadFile(filepath.Join(*loadDir, name+".xivm"))
+			if err != nil {
+				return fmt.Errorf("load view %s: %w", name, err)
+			}
+			rows, err := store.DecodeSnapshot(data)
+			if err != nil {
+				return fmt.Errorf("load view %s: %w", name, err)
+			}
+			mv, err = e.AddViewRows(name, p, rows)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("view %-8s %s  (%d rows, restored)\n", name, p, mv.View.Len())
+			return nil
+		}
+		mv, err = e.AddView(name, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("view %-8s %s  (%d rows)\n", name, p, mv.View.Len())
+		return nil
+	}
+	for _, spec := range views {
+		if err := addView(spec, func(src string) (*pattern.Pattern, error) {
+			def, err := view.Compile(src)
+			if err != nil {
+				return nil, err
+			}
+			return def.Pattern, nil
+		}); err != nil {
+			return err
+		}
+	}
+	for _, spec := range patterns {
+		if err := addView(spec, pattern.Parse); err != nil {
+			return err
+		}
+	}
+	if len(e.Views) == 0 {
+		return fmt.Errorf("no views declared (-view / -pattern)")
+	}
+
+	var lazy *core.Lazy
+	if *engine == "lazy" {
+		lazy = core.NewLazy(e)
+	}
+	for _, stmt := range flag.Args() {
+		st, err := update.Parse(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n>> %s\n", stmt)
+		switch *engine {
+		case "lazy":
+			if err := lazy.Apply(st); err != nil {
+				return err
+			}
+			fmt.Printf("deferred (%d pending)\n", lazy.Pending())
+		case "incr":
+			rep, err := e.ApplyStatement(st)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("targets=%d\n", rep.Targets)
+			for _, vr := range rep.Views {
+				fmt.Printf("view %-8s +%d -%d ~%d rows  terms %d/%d",
+					vr.View.Name, vr.RowsAdded, vr.RowsRemoved, vr.RowsModified,
+					vr.TermsSurvived, vr.TermsTotal)
+				if vr.PredFallback {
+					fmt.Print("  [predicate flip: recomputed]")
+				}
+				fmt.Println()
+				if *stats {
+					t := vr.Timings
+					fmt.Printf("  find=%v delta=%v expr=%v exec=%v lattice=%v\n",
+						t.FindTargets, t.ComputeDelta, t.GetExpression, t.ExecuteUpdate, t.UpdateLattice)
+				}
+			}
+		case "full":
+			d, err := e.FullRecompute(st)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("full recomputation in %v\n", d)
+		case "ivma":
+			d, err := core.NewIVMA(e).ApplyStatement(st)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("ivma propagation in %v\n", d)
+		default:
+			return fmt.Errorf("unknown engine %q", *engine)
+		}
+		if *showRows {
+			printRows(e)
+		}
+	}
+	if lazy != nil {
+		d, err := lazy.Flush()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nflushed deferred batch in %v\n", d)
+	}
+	if !*showRows {
+		printRows(e)
+	}
+	if *saveDir != "" {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			return err
+		}
+		for _, mv := range e.Views {
+			data := store.EncodeSnapshot(mv.View)
+			path := filepath.Join(*saveDir, mv.Name+".xivm")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("saved %s (%d bytes)\n", path, len(data))
+		}
+	}
+	return nil
+}
+
+func printRows(e *core.Engine) {
+	for _, mv := range e.Views {
+		fmt.Printf("\nview %s: %d rows\n", mv.Name, mv.View.Len())
+		for _, r := range mv.View.Rows() {
+			fmt.Printf("  count=%d", r.Count)
+			for _, en := range r.Entries {
+				fmt.Printf("  %s=%v", mv.Pattern.Nodes[en.NodeIdx].Label, en.ID)
+				if en.Val != "" {
+					fmt.Printf(" val=%q", en.Val)
+				}
+				if en.Cont != "" {
+					c := en.Cont
+					if len(c) > 40 {
+						c = c[:40] + "…"
+					}
+					fmt.Printf(" cont=%q", c)
+				}
+			}
+			fmt.Println()
+		}
+	}
+}

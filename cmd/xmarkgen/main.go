@@ -1,0 +1,33 @@
+// Command xmarkgen generates XMark-style benchmark documents of a target
+// size, deterministic per seed.
+//
+// Usage:
+//
+//	xmarkgen -size 10485760 -seed 42 -o auction.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xivm/internal/xmark"
+)
+
+func main() {
+	size := flag.Int("size", 100<<10, "approximate output size in bytes")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := xmark.Generate(xmark.Config{TargetBytes: *size, Seed: *seed})
+	if *out == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(doc), *out)
+}

@@ -1,0 +1,12 @@
+// Package xivm is an algebraic incremental maintenance engine for
+// materialized XML views, reproducing "Algebraic Techniques for XML View
+// Maintenance" (Bonifati, Goodfellow, Manolescu, Sileo; EDBT 2011 /
+// extended version). See README.md for the architecture overview,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// The implementation lives under internal/ (dewey, xmltree, xpath, pattern,
+// algebra, store, view, update, core, pulopt, dtd, xmark, bench); the
+// executables under cmd/ (xivm, xmarkgen, xivmbench); runnable examples
+// under examples/.
+package xivm

@@ -1,0 +1,3 @@
+module xivm
+
+go 1.22

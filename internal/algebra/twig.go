@@ -1,0 +1,247 @@
+package algebra
+
+import (
+	"sort"
+
+	"xivm/internal/dewey"
+	"xivm/internal/pattern"
+)
+
+// This file implements a holistic twig join in the PathStack/TwigStack
+// lineage (Bruno, Koudas, Srivastava 2002), the primitive the paper's
+// complexity analysis leans on ("holistic twig joins allow evaluating a
+// term in time proportional to the cumulated size of its inputs"). Instead
+// of region encodings it uses Compact Dynamic Dewey IDs: ancestorship is a
+// prefix test and document order a lexicographic comparison.
+//
+// Each root-to-leaf path of the pattern is evaluated by one streaming
+// PathStack pass: a single scan of the path's inputs maintaining one stack
+// per node, entries chained to their lowest ancestor in the parent stack;
+// compact stack encodings represent many path solutions at once and are
+// enumerated when leaves arrive. The per-path solutions are then
+// merge-joined on shared prefix nodes into full twig matches.
+
+// EvalPatternHolistic evaluates the whole pattern with the holistic path
+// joins, returning full-width tuples equal to EvalPattern's (up to order).
+func EvalPatternHolistic(p *pattern.Pattern, in Inputs) []Tuple {
+	t := &twig{p: p}
+	for i, n := range p.Nodes {
+		if len(n.Children) == 0 {
+			var chain []int
+			for c := i; c >= 0; c = p.ParentIndex(c) {
+				chain = append([]int{c}, chain...)
+			}
+			t.chains = append(t.chains, chain)
+			t.paths = append(t.paths, pathStack(p, chain, in))
+		}
+	}
+	return t.merge()
+}
+
+type twig struct {
+	p      *pattern.Pattern
+	chains [][]int    // pattern node indexes along each leaf path, root first
+	paths  [][][]Item // solutions per leaf path, root-to-leaf order
+}
+
+type stackEntry struct {
+	it     Item
+	parent int // index into the parent node's stack at push time; -1 at root
+}
+
+// pathStack runs one streaming pass over the chain's inputs and returns all
+// root-to-leaf binding chains, with parent-child (/) edges enforced.
+func pathStack(p *pattern.Pattern, chain []int, in Inputs) [][]Item {
+	k := len(chain)
+	streams := make([][]Item, k)
+	pos := make([]int, k)
+	stacks := make([][]stackEntry, k)
+	for level, node := range chain {
+		items := append([]Item{}, in[node]...)
+		sort.Slice(items, func(a, b int) bool { return items[a].ID.Compare(items[b].ID) < 0 })
+		streams[level] = items
+	}
+	var out [][]Item
+
+	cur := func(level int) (Item, bool) {
+		if pos[level] < len(streams[level]) {
+			return streams[level][pos[level]], true
+		}
+		return Item{}, false
+	}
+	clean := func(level int, id dewey.ID) {
+		// Keep ancestor-OR-SELF entries: with overlapping streams (e.g. a
+		// wildcard node) the same document node can arrive on two levels,
+		// and popping its own earlier push would lose valid state. Proper-
+		// ancestorship for edges is enforced at expansion time.
+		s := stacks[level]
+		for len(s) > 0 && !s[len(s)-1].it.ID.IsAncestorOrSelf(id) {
+			s = s[:len(s)-1]
+		}
+		stacks[level] = s
+	}
+
+	for {
+		// Pick the non-exhausted level with the smallest current item.
+		minLevel := -1
+		var minItem Item
+		for l := 0; l < k; l++ {
+			if it, ok := cur(l); ok {
+				if minLevel < 0 || it.ID.Compare(minItem.ID) < 0 {
+					minLevel, minItem = l, it
+				}
+			}
+		}
+		if minLevel < 0 {
+			break
+		}
+		if _, leafAlive := cur(k - 1); !leafAlive {
+			break // no further leaf arrivals: no more solutions
+		}
+		// Pop entries that cannot be ancestors of anything at or after
+		// minItem in document order.
+		for l := 0; l < k; l++ {
+			clean(l, minItem.ID)
+		}
+		if minLevel == 0 || len(stacks[minLevel-1]) > 0 {
+			parentPos := -1
+			if minLevel > 0 {
+				parentPos = len(stacks[minLevel-1]) - 1
+			}
+			stacks[minLevel] = append(stacks[minLevel], stackEntry{it: minItem, parent: parentPos})
+			if minLevel == k-1 {
+				out = append(out, expandLeaf(p, chain, stacks)...)
+				stacks[k-1] = stacks[k-1][:len(stacks[k-1])-1]
+			}
+		}
+		pos[minLevel]++
+	}
+	return out
+}
+
+// expandLeaf enumerates the root-to-leaf solutions encoded by the stacks
+// for the just-pushed leaf entry, enforcing / edges.
+func expandLeaf(p *pattern.Pattern, chain []int, stacks [][]stackEntry) [][]Item {
+	k := len(chain)
+	var out [][]Item
+	// acc collects items leaf-to-root.
+	var rec func(level, maxPos int, acc []Item)
+	rec = func(level, maxPos int, acc []Item) {
+		s := stacks[k-1-level]
+		for posIdx := 0; posIdx <= maxPos && posIdx < len(s); posIdx++ {
+			e := s[posIdx]
+			// Edge check against the previously accumulated (lower) item.
+			if len(acc) > 0 {
+				lower := acc[len(acc)-1]
+				lowerNode := p.Nodes[chain[k-len(acc)]]
+				if !lowerNode.Desc && !e.it.ID.IsParentOf(lower.ID) {
+					continue
+				}
+				if lowerNode.Desc && !e.it.ID.IsAncestorOf(lower.ID) {
+					continue
+				}
+			}
+			acc2 := append(append([]Item{}, acc...), e.it)
+			if level == k-1 {
+				sol := make([]Item, k)
+				for i, it := range acc2 {
+					sol[k-1-i] = it
+				}
+				out = append(out, sol)
+				continue
+			}
+			rec(level+1, e.parent, acc2)
+		}
+	}
+	leafStack := stacks[k-1]
+	if k == 1 {
+		return [][]Item{{leafStack[len(leafStack)-1].it}}
+	}
+	leafEntry := leafStack[len(leafStack)-1]
+	rec(1, leafEntry.parent, []Item{leafEntry.it})
+	return out
+}
+
+// merge joins the per-leaf-path solutions on shared prefix nodes into
+// full-width tuples.
+func (t *twig) merge() []Tuple {
+	if len(t.paths) == 0 {
+		return nil
+	}
+	cols := append([]int{}, t.chains[0]...)
+	tuples := make([][]Item, 0, len(t.paths[0]))
+	tuples = append(tuples, t.paths[0]...)
+	for li := 1; li < len(t.paths); li++ {
+		chain := t.chains[li]
+		shared := make([]int, 0, len(chain))
+		fresh := make([]int, 0, len(chain))
+		for _, c := range chain {
+			if indexOf(cols, c) >= 0 {
+				shared = append(shared, c)
+			} else {
+				fresh = append(fresh, c)
+			}
+		}
+		index := map[string][]int{}
+		for i, tp := range tuples {
+			index[keyFor(cols, tp, shared)] = append(index[keyFor(cols, tp, shared)], i)
+		}
+		var next [][]Item
+		for _, sol := range t.paths[li] {
+			k := keyForChain(chain, sol, shared)
+			for _, ti := range index[k] {
+				merged := append(append([]Item{}, tuples[ti]...), pickChain(chain, sol, fresh)...)
+				next = append(next, merged)
+			}
+		}
+		cols = append(cols, fresh...)
+		tuples = next
+	}
+	// Normalize to preorder columns.
+	out := make([]Tuple, 0, len(tuples))
+	perm := make([]int, t.p.Size())
+	for pos, c := range cols {
+		perm[c] = pos
+	}
+	for _, tp := range tuples {
+		items := make([]Item, t.p.Size())
+		for c := 0; c < t.p.Size(); c++ {
+			items[c] = tp[perm[c]]
+		}
+		out = append(out, Tuple{Items: items, Count: 1})
+	}
+	return out
+}
+
+func indexOf(cols []int, c int) int {
+	for i, x := range cols {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func keyFor(cols []int, tp []Item, shared []int) string {
+	s := ""
+	for _, c := range shared {
+		s += tp[indexOf(cols, c)].ID.Key() + "\xff"
+	}
+	return s
+}
+
+func keyForChain(chain []int, sol []Item, shared []int) string {
+	s := ""
+	for _, c := range shared {
+		s += sol[indexOf(chain, c)].ID.Key() + "\xff"
+	}
+	return s
+}
+
+func pickChain(chain []int, sol []Item, fresh []int) []Item {
+	out := make([]Item, 0, len(fresh))
+	for _, c := range fresh {
+		out = append(out, sol[indexOf(chain, c)])
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+// Package core implements the paper's contribution: algebraic, set-oriented
+// propagation of statement-level XML updates to materialized tree-pattern
+// views. It provides the union-term machinery with its pruning rules
+// (Propositions 3.3, 3.6, 3.8 for insertions; 4.2, 4.3, 4.7 for deletions),
+// the snowcap lattice with the Snowcaps and Leaves materialization policies,
+// and the propagation algorithms PINT (Alg. 1), CD+ (Alg. 2), ET-INS
+// (Alg. 3), PIMT (Alg. 4), PDDT (Alg. 5) and the combined PDDT/MT (Alg. 6),
+// together with a full-recomputation baseline and the IVMA node-at-a-time
+// competitor used in the experiments.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xivm/internal/algebra"
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+	"xivm/internal/update"
+	"xivm/internal/xmltree"
+)
+
+// Policy selects which lattice nodes are materialized (Section 6.7).
+type Policy uint8
+
+const (
+	// PolicySnowcaps materializes one snowcap per lattice level (plus the
+	// leaves, which are the canonical relations themselves).
+	PolicySnowcaps Policy = iota
+	// PolicyLeaves materializes nothing beyond the canonical relations and
+	// recomputes internal joins on the fly.
+	PolicyLeaves
+	// PolicyCost materializes the snowcaps selected by the cost-based
+	// optimizer of costmodel.go, driven by Options.Profile.
+	PolicyCost
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLeaves:
+		return "leaves"
+	case PolicyCost:
+		return "cost"
+	}
+	return "snowcaps"
+}
+
+// Options tunes an Engine; the zero value is the paper's default
+// configuration (snowcap policy, structural joins, all pruning on).
+type Options struct {
+	Policy Policy
+	// Join overrides the physical join (nil = Dewey structural join).
+	Join algebra.JoinFunc
+	// DisableDataPruning turns off the inserted-data-driven pruning of
+	// Proposition 3.6 (ablation).
+	DisableDataPruning bool
+	// DisableIDPruning turns off the inserted-ID-driven pruning of
+	// Propositions 3.8 / 4.7 (ablation).
+	DisableIDPruning bool
+	// Profile drives PolicyCost's snowcap selection (nil = uniform).
+	Profile UpdateProfile
+	// IndependencePrecheck, when non-nil, is consulted per view before
+	// propagation: statements it declares independent of a view skip that
+	// view entirely (see internal/independence for an implementation).
+	IndependencePrecheck func(p *pattern.Pattern, st *update.Statement) bool
+	// Parallel propagates each statement to all views concurrently. Views
+	// are independent during propagation (the document and canonical
+	// relations are read-only while views update), so this is safe and
+	// scales with the number of views.
+	Parallel bool
+	// SharedSnowcaps deduplicates snowcap materializations across views
+	// (Section 3.5's global optimization): identical sub-patterns are
+	// materialized once and maintained once per statement. Incompatible
+	// with deferred (Lazy) propagation.
+	SharedSnowcaps bool
+}
+
+// Engine owns a document, its store, and a set of maintained views.
+type Engine struct {
+	Doc   *xmltree.Document
+	Store *store.Store
+	Views []*ManagedView
+	pool  *Pool
+	opts  Options
+}
+
+// ManagedView is one materialized view under maintenance.
+type ManagedView struct {
+	Name    string
+	Pattern *pattern.Pattern
+	View    *store.View
+	Lattice *Lattice
+	// insertTerms / deleteTerms are developed once, when the view is
+	// created (first step of Algorithm 1), and pruned per update.
+	insertTerms []uint64
+	deleteTerms []uint64
+}
+
+// NewEngine indexes the document and returns an engine with no views.
+func NewEngine(doc *xmltree.Document, opts Options) *Engine {
+	e := &Engine{Doc: doc, Store: store.New(doc), opts: opts}
+	if opts.SharedSnowcaps {
+		e.pool = NewPool(e.Store, e.Join())
+	}
+	return e
+}
+
+// SharedPool returns the cross-view snowcap pool, or nil when sharing is
+// off.
+func (e *Engine) SharedPool() *Pool { return e.pool }
+
+// newLattice builds a view's lattice under the engine's policy.
+func (e *Engine) newLattice(p *pattern.Pattern) *Lattice {
+	var masks []uint64
+	switch {
+	case e.opts.Policy == PolicyCost:
+		masks = ChooseSnowcaps(p, e.Store, e.opts.Profile)
+	case e.opts.Policy == PolicySnowcaps:
+		masks = p.SnowcapChain()
+	}
+	if e.pool != nil && len(masks) > 0 {
+		return NewLatticePooled(p, masks, e.pool, e.Store, e.Join())
+	}
+	if e.opts.Policy == PolicyCost {
+		return NewLatticeMasks(p, masks, e.Store, e.Join())
+	}
+	return NewLattice(p, e.opts.Policy, e.Store, e.Join())
+}
+
+// Join returns the engine's physical join function.
+func (e *Engine) Join() algebra.JoinFunc {
+	if e.opts.Join != nil {
+		return e.opts.Join
+	}
+	return algebra.StructuralJoin
+}
+
+// AddView materializes a view over the current document and prepares its
+// maintenance structures (term expansion and snowcap lattice).
+func (e *Engine) AddView(name string, p *pattern.Pattern) (*ManagedView, error) {
+	if len(p.StoredIndexes()) == 0 {
+		return nil, fmt.Errorf("core: view %s stores nothing", name)
+	}
+	in := e.Store.Inputs(p)
+	tuples := algebra.EvalPattern(p, in, e.Join())
+	rows := algebra.ProjectStored(p, tuples, e.Doc)
+	mv := &ManagedView{
+		Name:        name,
+		Pattern:     p,
+		View:        store.NewMaterializedView(p, rows),
+		insertTerms: InsertTerms(p),
+		deleteTerms: DeleteTerms(p),
+	}
+	mv.Lattice = e.newLattice(p)
+	e.Views = append(e.Views, mv)
+	return mv, nil
+}
+
+// AddViewRows installs a view from previously materialized rows (e.g. a
+// snapshot decoded with store.DecodeSnapshot) without re-evaluating the
+// pattern. The caller asserts the rows reflect the engine's current
+// document; the auxiliary lattice is rebuilt from the store.
+func (e *Engine) AddViewRows(name string, p *pattern.Pattern, rows []algebra.Row) (*ManagedView, error) {
+	if len(p.StoredIndexes()) == 0 {
+		return nil, fmt.Errorf("core: view %s stores nothing", name)
+	}
+	mv := &ManagedView{
+		Name:        name,
+		Pattern:     p,
+		View:        store.NewMaterializedView(p, rows),
+		insertTerms: InsertTerms(p),
+		deleteTerms: DeleteTerms(p),
+	}
+	mv.Lattice = e.newLattice(p)
+	e.Views = append(e.Views, mv)
+	return mv, nil
+}
+
+// Timings is the per-phase breakdown reported by the paper's experiments.
+type Timings struct {
+	FindTargets   time.Duration // locate target nodes (Saxon's role)
+	ComputeDelta  time.Duration // build the ∆+ / ∆− tables (CD+/CD−)
+	GetExpression time.Duration // unfold + prune the update expression
+	ExecuteUpdate time.Duration // evaluate terms, apply to the view
+	UpdateLattice time.Duration // refresh auxiliary structures
+}
+
+// Total sums all phases.
+func (t Timings) Total() time.Duration {
+	return t.FindTargets + t.ComputeDelta + t.GetExpression + t.ExecuteUpdate + t.UpdateLattice
+}
+
+// Add accumulates another breakdown.
+func (t *Timings) Add(o Timings) {
+	t.FindTargets += o.FindTargets
+	t.ComputeDelta += o.ComputeDelta
+	t.GetExpression += o.GetExpression
+	t.ExecuteUpdate += o.ExecuteUpdate
+	t.UpdateLattice += o.UpdateLattice
+}
+
+// ViewReport describes the effect of one statement on one view.
+type ViewReport struct {
+	View          *ManagedView
+	Timings       Timings
+	TermsTotal    int // terms before data-driven pruning
+	TermsSurvived int // terms actually evaluated
+	RowsAdded     int
+	RowsRemoved   int
+	RowsModified  int
+	// PredFallback reports that the update flipped a value predicate on an
+	// existing node, forcing this view to be recomputed (see predflip.go).
+	PredFallback bool
+	// Skipped reports that the independence precheck proved the statement
+	// cannot affect this view, so propagation was skipped.
+	Skipped bool
+}
+
+// Report describes the effect of one statement on the engine.
+type Report struct {
+	Statement *update.Statement
+	Targets   int
+	Views     []ViewReport
+}
+
+// Timings sums the per-view breakdowns (FindTargets counted once).
+func (r *Report) Timings() Timings {
+	var t Timings
+	for i, vr := range r.Views {
+		vt := vr.Timings
+		if i > 0 {
+			vt.FindTargets = 0
+		}
+		t.Add(vt)
+	}
+	return t
+}
+
+// ApplyStatement runs one update statement: it computes the pending update
+// list, applies the update to the document, and incrementally propagates it
+// to every managed view (PINT/PIMT for insertions, PDDT/PDMT for
+// deletions). The document and store are updated exactly once.
+func (e *Engine) ApplyStatement(st *update.Statement) (*Report, error) {
+	t0 := time.Now()
+	if st.Kind == update.Replace {
+		// Replace = the deletion stage then the insertion stage, each a
+		// full algebraic propagation; reports are merged.
+		delPul, insPul, err := update.ExpandReplace(e.Doc, st)
+		if err != nil {
+			return nil, err
+		}
+		findTargets := time.Since(t0)
+		delRep, err := e.applyPUL(delPul, nil)
+		if err != nil {
+			return nil, err
+		}
+		insRep, err := e.applyPUL(insPul, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep := &Report{Statement: st, Targets: delPul.Targets()}
+		for i := range delRep.Views {
+			vr := delRep.Views[i]
+			vr.Timings.Add(insRep.Views[i].Timings)
+			vr.Timings.FindTargets = findTargets
+			vr.RowsAdded += insRep.Views[i].RowsAdded
+			vr.RowsRemoved += insRep.Views[i].RowsRemoved
+			vr.RowsModified += insRep.Views[i].RowsModified
+			vr.TermsTotal += insRep.Views[i].TermsTotal
+			vr.TermsSurvived += insRep.Views[i].TermsSurvived
+			vr.PredFallback = vr.PredFallback || insRep.Views[i].PredFallback
+			rep.Views = append(rep.Views, vr)
+		}
+		return rep, nil
+	}
+	pul, err := update.ComputePUL(e.Doc, st)
+	if err != nil {
+		return nil, err
+	}
+	findTargets := time.Since(t0)
+
+	// Optional static independence fast path: views the precheck proves
+	// unaffected skip propagation for this statement.
+	var skip map[*ManagedView]bool
+	if e.opts.IndependencePrecheck != nil {
+		for _, mv := range e.Views {
+			if e.opts.IndependencePrecheck(mv.Pattern, st) {
+				if skip == nil {
+					skip = map[*ManagedView]bool{}
+				}
+				skip[mv] = true
+			}
+		}
+	}
+
+	rep, err := e.applyPUL(pul, skip)
+	if err != nil {
+		return nil, err
+	}
+	rep.Statement = st
+	for i := range rep.Views {
+		rep.Views[i].Timings.FindTargets = findTargets
+	}
+	return rep, nil
+}
+
+// ApplyPUL propagates an already-computed pending update list: it applies
+// the node-level operations to the document and incrementally maintains
+// every view. This is the entry point used when PULs arrive pre-optimized
+// (Section 5) rather than from a statement.
+func (e *Engine) ApplyPUL(pul *update.PUL) (*Report, error) {
+	return e.applyPUL(pul, nil)
+}
+
+func (e *Engine) applyPUL(pul *update.PUL, skip map[*ManagedView]bool) (*Report, error) {
+	// Snapshot σ membership of predicate-labeled ancestors of the targets;
+	// if the update flips any of them (text added or removed below an
+	// existing node a view predicate tests), the ∆ algebra cannot express
+	// the change and the affected view falls back to recomputation.
+	probes := e.snapshotPredicates(pul)
+
+	rep := &Report{Targets: pul.Targets()}
+	switch pul.Kind {
+	case update.Insert:
+		// Apply to the document only: the canonical relations must keep
+		// their pre-update state while terms are evaluated; they are synced
+		// during the lattice-update phase.
+		applied, err := update.Apply(e.Doc, nil, pul)
+		if err != nil {
+			return nil, err
+		}
+		rep.Views = e.propagateAll(skip, func(mv *ManagedView) ViewReport {
+			return e.propagateInsert(mv, pul, applied)
+		})
+		if e.pool != nil {
+			// Shared snowcaps are maintained once per statement, against
+			// the pre-sync relations (like each view's own lattice).
+			e.pool.ApplyInsert(applied.InsertedRoots)
+		}
+		e.Store.AddSubtrees(applied.InsertedRoots)
+	case update.Delete:
+		applied, err := update.Apply(e.Doc, e.Store, pul)
+		if err != nil {
+			return nil, err
+		}
+		if e.pool != nil {
+			e.pool.ApplyDelete(applied.DeletedRoots)
+		}
+		rep.Views = e.propagateAll(skip, func(mv *ManagedView) ViewReport {
+			return e.propagateDelete(mv, pul, applied)
+		})
+	}
+	for mv := range flippedViews(probes) {
+		e.recomputeFallback(mv)
+		for i := range rep.Views {
+			if rep.Views[i].View == mv {
+				rep.Views[i].PredFallback = true
+			}
+		}
+	}
+	return rep, nil
+}
+
+// propagateAll runs one propagation function over every non-skipped view,
+// concurrently when Options.Parallel is set. The document and store must be
+// read-only for the duration (guaranteed by the ApplyPUL phase ordering).
+func (e *Engine) propagateAll(skip map[*ManagedView]bool, f func(*ManagedView) ViewReport) []ViewReport {
+	out := make([]ViewReport, len(e.Views))
+	if !e.opts.Parallel || len(e.Views) < 2 {
+		for i, mv := range e.Views {
+			if skip[mv] {
+				out[i] = ViewReport{View: mv, Skipped: true}
+				continue
+			}
+			out[i] = f(mv)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i, mv := range e.Views {
+		if skip[mv] {
+			out[i] = ViewReport{View: mv, Skipped: true}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, mv *ManagedView) {
+			defer wg.Done()
+			out[i] = f(mv)
+		}(i, mv)
+	}
+	wg.Wait()
+	return out
+}
+
+// deltaInputs builds per-pattern-node ∆ inputs from subtree roots: the CD+
+// / CD− delta tables, σ-filtered by each node's value predicate, with the
+// root-anchor filter applied (an inserted node can never be the document
+// root, so a /-anchored pattern root always has an empty ∆).
+func (e *Engine) deltaInputs(p *pattern.Pattern, roots []*xmltree.Node) algebra.Inputs {
+	labels := make([]string, 0, p.Size())
+	for _, n := range p.Nodes {
+		labels = append(labels, n.Label)
+	}
+	tables := update.DeltaTables(roots, labels)
+	in := make(algebra.Inputs, p.Size())
+	for i, n := range p.Nodes {
+		in[i] = algebra.Filter(tables[n.Label], n, e.Doc)
+	}
+	in[0] = algebra.FilterRootAnchor(p, in[0])
+	return in
+}
+
+// evalTerm evaluates one union term: R-nodes (rmask) come from the lattice
+// (materialized snowcap or on-the-fly joins over canonical relations),
+// ∆-nodes from the delta inputs; the boundary edges become structural
+// joins. Results are projected onto the view's stored nodes.
+func (e *Engine) evalTerm(mv *ManagedView, rmask uint64, deltaIn algebra.Inputs) []algebra.Row {
+	return e.evalTermFrom(mv, rmask, deltaIn, nil)
+}
+
+// evalTermFrom is evalTerm with explicit R inputs (rIn) for the lattice's
+// on-the-fly blocks; nil means the store's current canonical relations.
+// Deferred (lazy) flushing passes filtered inputs here.
+func (e *Engine) evalTermFrom(mv *ManagedView, rmask uint64, deltaIn, rIn algebra.Inputs) []algebra.Row {
+	p := mv.Pattern
+	full := p.FullMask()
+	dmask := full &^ rmask
+	var block algebra.Block
+	if rmask == 0 {
+		block = algebra.EvalSubPattern(p, full, deltaIn, e.Join())
+	} else {
+		block = mv.Lattice.BlockFrom(rmask, rIn)
+		forest, roots := algebra.EvalForest(p, dmask, deltaIn, e.Join())
+		block = algebra.AttachForest(p, block, forest, roots, e.Join())
+	}
+	return algebra.ProjectBlock(p, block, p.StoredIndexes(), e.Doc)
+}

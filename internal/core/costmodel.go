@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+)
+
+// Section 3.5 sketches — and defers to future work — the cost-based choice
+// of which snowcaps to materialize, driven by data statistics and an update
+// profile. This file implements that optimizer: given the expected rate at
+// which each label receives updates, it estimates, for every candidate set
+// of materialized snowcaps, the per-update cost of evaluating the surviving
+// union terms plus the cost of keeping the materializations themselves
+// up to date, and picks the cheapest set greedily.
+
+// UpdateProfile gives the relative frequency with which updates touch each
+// label (the 〈bookLoan〉-style workload knowledge the paper describes as
+// routinely gathered by database servers). Labels absent from the map are
+// assumed never updated; a nil profile means "all view labels equally
+// likely".
+type UpdateProfile map[string]float64
+
+// UniformProfile returns a profile giving every label of p weight 1.
+func UniformProfile(p *pattern.Pattern) UpdateProfile {
+	up := UpdateProfile{}
+	for _, n := range p.Nodes {
+		up[n.Label] = 1
+	}
+	return up
+}
+
+// costEstimator derives cardinality estimates from the store's canonical
+// relation sizes — the XSKETCH-like statistics the paper assumes the
+// database maintains anyway.
+type costEstimator struct {
+	p     *pattern.Pattern
+	sizes []float64 // |σ(R_label)| per pattern node
+}
+
+func newCostEstimator(p *pattern.Pattern, st *store.Store) *costEstimator {
+	ce := &costEstimator{p: p, sizes: make([]float64, p.Size())}
+	in := st.Inputs(p)
+	for i := range p.Nodes {
+		ce.sizes[i] = float64(len(in[i]))
+	}
+	return ce
+}
+
+// blockCard estimates the cardinality of a sub-pattern block: the smallest
+// input bounds the result of a chain of structural joins from above; each
+// additional branch can only filter further. We take the min input size —
+// crude, but monotone in the right direction for ranking.
+func (ce *costEstimator) blockCard(mask uint64) float64 {
+	card := math.Inf(1)
+	for _, i := range pattern.MaskIndexes(mask) {
+		if ce.sizes[i] < card {
+			card = ce.sizes[i]
+		}
+	}
+	if math.IsInf(card, 1) {
+		return 0
+	}
+	return card
+}
+
+// joinCost estimates evaluating a sub-pattern from the leaves: the sum of
+// its inputs (structural joins are linear in their inputs plus output).
+func (ce *costEstimator) joinCost(mask uint64) float64 {
+	total := 0.0
+	for _, i := range pattern.MaskIndexes(mask) {
+		total += ce.sizes[i]
+	}
+	return total + ce.blockCard(mask)
+}
+
+// termRate is the probability-weight that a given term fires under the
+// profile: the minimum rate across its ∆ nodes (every ∆ table must be
+// non-empty for the term to survive data pruning).
+func termRate(p *pattern.Pattern, rmask uint64, profile UpdateProfile) float64 {
+	rate := math.Inf(1)
+	full := p.FullMask()
+	for _, i := range pattern.MaskIndexes(full &^ rmask) {
+		r := profile[p.Nodes[i].Label]
+		if r < rate {
+			rate = r
+		}
+	}
+	if math.IsInf(rate, 1) {
+		return 0
+	}
+	return rate
+}
+
+// ChooseSnowcaps picks the snowcap masks worth materializing for view p
+// under the given profile. Starting from leaves-only, it greedily adds the
+// snowcap with the best net benefit:
+//
+//	benefit(m) = Σ_terms rate(t) · [cost of computing block(t.R) from
+//	             leaves − cost of reading the materialization]
+//	           − maintenance(m)   (its own term evaluations per update)
+//
+// and stops when no candidate improves. The full mask (the view itself) is
+// never a candidate. The returned masks are sorted by size.
+func ChooseSnowcaps(p *pattern.Pattern, st *store.Store, profile UpdateProfile) []uint64 {
+	if profile == nil {
+		profile = UniformProfile(p)
+	}
+	ce := newCostEstimator(p, st)
+	terms := InsertTerms(p)
+	chosen := map[uint64]bool{}
+
+	// cost of serving term t's R-block under the current choice.
+	blockCost := func(rmask uint64) float64 {
+		if rmask == 0 {
+			return 0
+		}
+		if chosen[rmask] {
+			return ce.blockCard(rmask) // read the materialization
+		}
+		return ce.joinCost(rmask)
+	}
+	// expected per-update term-evaluation cost for the view.
+	viewCost := func() float64 {
+		total := 0.0
+		for _, t := range terms {
+			total += termRate(p, t, profile) * blockCost(t)
+		}
+		return total
+	}
+	// maintenance cost of one materialized snowcap: its own surviving
+	// terms, each paying the block cost of its R-part, weighted by how
+	// often the term fires; the factor reflects that maintenance joins run
+	// against ∆-sized inputs, not full relations.
+	maintCost := func(mask uint64) float64 {
+		total := 0.0
+		for _, rmask := range snowcapTerms(p, mask) {
+			rate := math.Inf(1)
+			for _, i := range pattern.MaskIndexes(mask &^ rmask) {
+				if r := profile[p.Nodes[i].Label]; r < rate {
+					rate = r
+				}
+			}
+			if math.IsInf(rate, 1) {
+				continue
+			}
+			total += rate * blockCost(rmask)
+		}
+		return total * 0.5
+	}
+
+	candidates := p.Snowcaps()
+	for {
+		base := viewCost()
+		bestGain := 0.0
+		var best uint64
+		found := false
+		for _, m := range candidates {
+			if m == p.FullMask() || chosen[m] {
+				continue
+			}
+			chosen[m] = true
+			gain := base - viewCost() - maintCost(m)
+			delete(chosen, m)
+			if gain > bestGain {
+				bestGain, best, found = gain, m, true
+			}
+		}
+		if !found {
+			break
+		}
+		chosen[best] = true
+	}
+
+	out := make([]uint64, 0, len(chosen))
+	for m, on := range chosen {
+		if on {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := len(pattern.MaskIndexes(out[i])), len(pattern.MaskIndexes(out[j]))
+		if ci != cj {
+			return ci < cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+	"xivm/internal/update"
+)
+
+func TestChooseSnowcapsReturnsValidMasks(t *testing.T) {
+	d := mustDoc(t, `<root><a><b><c/></b><d/></a><a><b/><d/></a></root>`)
+	st := store.New(d)
+	p := pattern.MustParse(`//a{ID}[//b{ID}//c{ID}]//d{ID}`)
+	masks := ChooseSnowcaps(p, st, nil)
+	for _, m := range masks {
+		if !p.IsSnowcap(m) {
+			t.Fatalf("chosen mask %b is not a snowcap", m)
+		}
+		if m == p.FullMask() {
+			t.Fatal("full view must never be chosen")
+		}
+	}
+	// Sizes ascending.
+	for i := 1; i < len(masks); i++ {
+		a := len(pattern.MaskIndexes(masks[i-1]))
+		b := len(pattern.MaskIndexes(masks[i]))
+		if a > b {
+			t.Fatal("masks not sorted by size")
+		}
+	}
+}
+
+func TestChooseSnowcapsRespectsProfile(t *testing.T) {
+	d := mustDoc(t, `<root><a><b><c/></b><d/></a></root>`)
+	st := store.New(d)
+	p := pattern.MustParse(`//a{ID}[//b{ID}//c{ID}]//d{ID}`)
+	// Only d is ever updated: terms all have ∆d (and maybe others). The
+	// abc snowcap serves the Ra⋈Rb⋈Rc⋈∆d term and should be attractive;
+	// with a zero-rate profile nothing should be materialized.
+	none := ChooseSnowcaps(p, st, UpdateProfile{})
+	if len(none) != 0 {
+		t.Fatalf("zero profile chose %b", none)
+	}
+	dOnly := ChooseSnowcaps(p, st, UpdateProfile{"d": 1})
+	for _, m := range dOnly {
+		if pattern.MaskContains(m, 3) {
+			t.Fatalf("mask %b contains the ∆-only node d", m)
+		}
+	}
+}
+
+// TestPolicyCostMaintainsCorrectly: the cost-based policy must preserve the
+// maintenance-equals-recomputation invariant under random streams.
+func TestPolicyCostMaintainsCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		d := mustDoc(t, randomXML(rng, 3, 4))
+		e := NewEngine(d, Options{Policy: PolicyCost, Profile: UpdateProfile{"a": 1, "b": 2, "c": 1}})
+		mv := addView(t, e, `//a{ID}[//b{ID}//c{ID}]//d{ID}`)
+		mv2 := addView(t, e, `//a{ID}//b{ID}`)
+		for step := 0; step < 6; step++ {
+			st, err := update.Parse(randomStatement(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.ApplyStatement(st); err != nil {
+				t.Fatal(err)
+			}
+			if !e.CheckView(mv) || !e.CheckView(mv2) {
+				t.Fatalf("trial %d step %d: cost-policy view diverged", trial, step)
+			}
+		}
+	}
+}
+
+func TestNewLatticeMasksValidation(t *testing.T) {
+	d := mustDoc(t, `<a><b/><c/></a>`)
+	st := store.New(d)
+	p := pattern.MustParse(`//a{ID}[//b{ID}]//c{ID}`)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-snowcap mask")
+		}
+	}()
+	NewLatticeMasks(p, []uint64{1 << 1}, st, nil) // {b} without root
+}
+
+func TestLatticeMasksEmptyFallsBackToLeaves(t *testing.T) {
+	d := mustDoc(t, `<a><b/></a>`)
+	st := store.New(d)
+	p := pattern.MustParse(`//a{ID}//b{ID}`)
+	l := NewLatticeMasks(p, nil, st, nil)
+	if l.Policy != PolicyLeaves || len(l.Materialized()) != 0 {
+		t.Fatalf("policy %v, %d materialized", l.Policy, len(l.Materialized()))
+	}
+	// Block still computable on the fly.
+	if b := l.Block(1); len(b.Cols) != 1 {
+		t.Fatalf("block cols %v", b.Cols)
+	}
+}
+
+func TestUniformProfileCoversLabels(t *testing.T) {
+	p := pattern.MustParse(`//a{ID}//b{ID}`)
+	up := UniformProfile(p)
+	if up["a"] != 1 || up["b"] != 1 {
+		t.Fatalf("profile %v", up)
+	}
+}

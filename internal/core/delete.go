@@ -1,0 +1,158 @@
+package core
+
+import (
+	"time"
+
+	"xivm/internal/dewey"
+	"xivm/internal/xmltree"
+
+	"xivm/internal/algebra"
+	"xivm/internal/update"
+)
+
+// propagateDelete runs the combined PDDT/PDMT algorithm (Algorithm 6) for
+// one view. The document and canonical relations have already been updated;
+// the lattice is refreshed first (dropping tuples bound inside deleted
+// subtrees), then the surviving deletion terms are evaluated against the
+// post-update relations — a disjoint partition of the removed derivations,
+// so each term's result is subtracted with its exact count. Finally PDMT
+// refreshes val/cont of surviving tuples whose stored nodes lost
+// descendants.
+func (e *Engine) propagateDelete(mv *ManagedView, pul *update.PUL, applied *update.Applied) ViewReport {
+	vr := ViewReport{View: mv}
+	p := mv.Pattern
+
+	// CD−: ∆ tables over the detached subtrees.
+	t0 := time.Now()
+	deltaIn := e.deltaInputs(p, applied.DeletedRoots)
+	vr.Timings.ComputeDelta = time.Since(t0)
+
+	// Prune the pre-developed deletion expression.
+	t0 = time.Now()
+	terms := mv.deleteTerms
+	vr.TermsTotal = len(terms)
+	if !e.opts.DisableDataPruning {
+		terms = PruneByDelta(p, terms, deltaIn)
+	}
+	if !e.opts.DisableIDPruning {
+		terms = PruneByDeletedIDs(p, terms, deltaIn)
+	}
+	vr.TermsSurvived = len(terms)
+	vr.Timings.GetExpression = time.Since(t0)
+
+	// Update auxiliary structures before evaluating terms: deletion terms
+	// must see post-update snowcaps.
+	t0 = time.Now()
+	mv.Lattice.ApplyDelete(applied.DeletedRoots)
+	vr.Timings.UpdateLattice = time.Since(t0)
+
+	// Subtract the removed derivations. Two complementary mechanisms:
+	//
+	//  1. Any row whose STORED binding lies inside a deleted subtree loses
+	//     every derivation (all its embeddings bind that node), so a single
+	//     Dewey-cover scan over the view removes it — no joins needed. This
+	//     also makes bulk deletions (∆ ≈ whole document regions) cheap.
+	//  2. Terms whose ∆-set touches only NON-stored nodes adjust the counts
+	//     of surviving rows and are evaluated algebraically as usual; terms
+	//     with ∆ on a stored node are exactly the rows pass 1 removed.
+	t0 = time.Now()
+	vr.RowsRemoved += removeRowsUnder(mv, applied.DeletedRoots)
+	var storedMask uint64
+	for _, i := range p.StoredIndexes() {
+		storedMask |= 1 << uint(i)
+	}
+	rIn := e.Store.Inputs(p)
+	full := p.FullMask()
+	for _, rmask := range terms {
+		if (full&^rmask)&storedMask != 0 {
+			continue // covered by the scan in pass 1
+		}
+		for _, row := range e.evalTermFrom(mv, rmask, deltaIn, rIn) {
+			if _, removed := mv.View.DecrementBy(row.Key(), row.Count); removed {
+				vr.RowsRemoved++
+			}
+		}
+	}
+	// PDMT: surviving tuples whose stored val/cont nodes are ancestors of a
+	// deleted subtree must refresh their stored images.
+	vr.RowsModified = e.modifyTuplesAfterDelete(mv, applied)
+	vr.Timings.ExecuteUpdate = time.Since(t0)
+	return vr
+}
+
+// removeRowsUnder drops every view row in which some stored entry binds a
+// node equal to or inside one of the deleted subtrees, returning how many
+// rows were removed.
+func removeRowsUnder(mv *ManagedView, roots []*xmltree.Node) int {
+	ids := make([]dewey.ID, len(roots))
+	for i, r := range roots {
+		ids[i] = r.ID
+	}
+	cover := dewey.NewCover(ids)
+	var doomed []string
+	mv.View.Each(func(r algebra.Row) bool {
+		for _, e := range r.Entries {
+			if cover.Contains(e.ID) {
+				doomed = append(doomed, r.Key())
+				break
+			}
+		}
+		return true
+	})
+	for _, key := range doomed {
+		mv.View.Remove(key)
+	}
+	return len(doomed)
+}
+
+// modifyTuplesAfterDelete implements PDMT: for every surviving view tuple
+// and every deleted subtree root, when a cont/val-annotated entry binds an
+// ancestor of the deleted root, its stored image is re-extracted from the
+// (already updated) document.
+func (e *Engine) modifyTuplesAfterDelete(mv *ManagedView, applied *update.Applied) int {
+	cvn := mv.Pattern.ContValIndexes()
+	if len(cvn) == 0 {
+		return 0
+	}
+	cvnSet := make(map[int]bool, len(cvn))
+	for _, i := range cvn {
+		cvnSet[i] = true
+	}
+	// A surviving stored image shrinks iff its node is a proper ancestor of
+	// a deleted root; collect those ancestors' ID keys once.
+	affected := map[string]bool{}
+	for _, root := range applied.DeletedRoots {
+		id := root.ID
+		for lvl := id.Level() - 1; lvl >= 1; lvl-- {
+			affected[id.AncestorAt(lvl).Key()] = true
+		}
+	}
+	var dirty []string
+	mv.View.Each(func(r algebra.Row) bool {
+		for _, entry := range r.Entries {
+			if cvnSet[entry.NodeIdx] && affected[entry.ID.Key()] {
+				dirty = append(dirty, r.Key())
+				return true
+			}
+		}
+		return true
+	})
+	for _, key := range dirty {
+		e.refreshRow(mv, key, cvnSet)
+	}
+	return len(dirty)
+}
+
+// RecomputeView evaluates the view from scratch on the current document —
+// the full-recomputation baseline of Section 6.5.
+func (e *Engine) RecomputeView(mv *ManagedView) []algebra.Row {
+	in := e.Store.Inputs(mv.Pattern)
+	tuples := algebra.EvalPattern(mv.Pattern, in, e.Join())
+	return algebra.ProjectStored(mv.Pattern, tuples, e.Doc)
+}
+
+// CheckView reports whether the maintained view matches a from-scratch
+// recomputation (rows, values, contents and derivation counts).
+func (e *Engine) CheckView(mv *ManagedView) bool {
+	return mv.View.EqualRows(e.RecomputeView(mv))
+}

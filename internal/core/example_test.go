@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"xivm/internal/core"
+	"xivm/internal/pattern"
+	"xivm/internal/update"
+	"xivm/internal/xmltree"
+)
+
+// ExampleEngine shows the full lifecycle: materialize a view, apply a
+// statement-level insertion and deletion, and read the maintained rows.
+func ExampleEngine() {
+	doc, err := xmltree.ParseString(`<lib><shelf><book>Go</book></shelf><shelf/></lib>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := core.NewEngine(doc, core.Options{})
+	mv, err := engine.AddView("books", pattern.MustParse(`//shelf{ID}/book{ID,val}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", mv.View.Len())
+
+	rep, err := engine.ApplyStatement(update.MustParse(`for $s in /lib/shelf insert <book>SQL</book>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("added:", rep.Views[0].RowsAdded, "rows:", mv.View.Len())
+
+	if _, err := engine.ApplyStatement(update.MustParse(`delete //book[text()="Go"]`)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", mv.View.Len(), "consistent:", engine.CheckView(mv))
+	// Output:
+	// rows: 1
+	// added: 2 rows: 3
+	// rows: 2 consistent: true
+}
+
+// ExampleLazy defers propagation across a batch and flushes the net effect.
+func ExampleLazy() {
+	doc, _ := xmltree.ParseString(`<r><a/></r>`)
+	engine := core.NewEngine(doc, core.Options{})
+	mv, _ := engine.AddView("v", pattern.MustParse(`//a{ID}//b{ID}`))
+
+	lz := core.NewLazy(engine)
+	lz.Apply(update.MustParse(`insert <b><b/></b> into /r/a`))
+	lz.Apply(update.MustParse(`delete /r/a/b[b]`)) // removes what was just added
+	fmt.Println("pending:", lz.Pending(), "stale rows:", mv.View.Len())
+	if _, err := lz.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after flush rows:", mv.View.Len(), "consistent:", engine.CheckView(mv))
+	// Output:
+	// pending: 2 stale rows: 0
+	// after flush rows: 0 consistent: true
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"xivm/internal/algebra"
+	"xivm/internal/dewey"
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+	"xivm/internal/xmltree"
+)
+
+// Lattice is the view's auxiliary structure: the sub-pattern lattice of
+// Section 3.5, with a materialization policy. Under PolicySnowcaps one
+// snowcap per level (a nested chain) is materialized; under PolicyLeaves
+// nothing is, and every requested block is recomputed from the canonical
+// relations (the lattice leaves).
+type Lattice struct {
+	Pattern *pattern.Pattern
+	Policy  Policy
+	store   *store.Store
+	join    algebra.JoinFunc
+	chain   []uint64 // materialized masks, ascending size (excludes full view)
+	mats    map[uint64]*store.Mat
+	// Pooled mode: masks resolve through a shared cross-view pool; the
+	// engine maintains the pool once per statement, so the per-view
+	// maintenance entry points become no-ops.
+	pool   *Pool
+	pooled map[uint64]pooledRef
+}
+
+type pooledRef struct {
+	sig  string
+	orig []int // canonical node index -> view pattern node index
+}
+
+// NewLattice builds (and, under PolicySnowcaps, materializes) the lattice
+// for p over the store's current state. The full-pattern snowcap is the
+// view itself and is not duplicated here.
+func NewLattice(p *pattern.Pattern, policy Policy, st *store.Store, join algebra.JoinFunc) *Lattice {
+	if policy != PolicySnowcaps {
+		l := NewLatticeMasks(p, nil, st, join)
+		l.Policy = policy
+		return l
+	}
+	return NewLatticeMasks(p, p.SnowcapChain(), st, join)
+}
+
+// NewLatticeMasks materializes exactly the given snowcap masks (the full
+// pattern, which is the view itself, is skipped). This is the entry point
+// the cost-based optimizer uses.
+func NewLatticeMasks(p *pattern.Pattern, masks []uint64, st *store.Store, join algebra.JoinFunc) *Lattice {
+	l := &Lattice{Pattern: p, Policy: PolicySnowcaps, store: st, join: join, mats: map[uint64]*store.Mat{}}
+	if len(masks) == 0 {
+		l.Policy = PolicyLeaves
+		return l
+	}
+	in := st.Inputs(p)
+	for _, mask := range masks {
+		if mask == p.FullMask() {
+			continue
+		}
+		if !p.IsSnowcap(mask) {
+			panic("core: NewLatticeMasks given a non-snowcap mask")
+		}
+		m := store.NewMat(p, mask)
+		m.FillFromBlock(algebra.EvalSubPattern(p, mask, in, join))
+		l.mats[mask] = m
+		l.chain = append(l.chain, mask)
+	}
+	return l
+}
+
+// NewLatticePooled resolves the given snowcap masks through a shared
+// cross-view pool instead of materializing privately.
+func NewLatticePooled(p *pattern.Pattern, masks []uint64, pool *Pool, st *store.Store, join algebra.JoinFunc) *Lattice {
+	l := &Lattice{Pattern: p, Policy: PolicySnowcaps, store: st, join: join,
+		mats: map[uint64]*store.Mat{}, pool: pool, pooled: map[uint64]pooledRef{}}
+	for _, mask := range masks {
+		if mask == p.FullMask() {
+			continue
+		}
+		if !p.IsSnowcap(mask) {
+			panic("core: NewLatticePooled given a non-snowcap mask")
+		}
+		sub, orig := p.SubPattern(mask)
+		sig := pool.Register(sub)
+		l.pooled[mask] = pooledRef{sig: sig, orig: orig}
+		l.chain = append(l.chain, mask)
+	}
+	return l
+}
+
+// Materialized returns the materialized masks in ascending size order.
+func (l *Lattice) Materialized() []uint64 { return l.chain }
+
+// TupleCount returns the total number of live tuples across materialized
+// lattice nodes.
+func (l *Lattice) TupleCount() int {
+	total := 0
+	for _, m := range l.mats {
+		total += m.Len()
+	}
+	return total
+}
+
+// Block returns the relation for an upward-closed node set: the
+// materialized snowcap when available, otherwise an on-the-fly join over
+// the canonical relations (the Leaves strategy).
+func (l *Lattice) Block(mask uint64) algebra.Block {
+	return l.BlockFrom(mask, nil)
+}
+
+// BlockFrom is Block with explicit per-node inputs for the on-the-fly
+// case; nil falls back to the store's canonical relations.
+func (l *Lattice) BlockFrom(mask uint64, in algebra.Inputs) algebra.Block {
+	if ref, ok := l.pooled[mask]; ok {
+		if b, found := l.pool.Block(ref.sig, ref.orig); found {
+			return b
+		}
+	}
+	if m, ok := l.mats[mask]; ok {
+		return m.Block()
+	}
+	if in == nil {
+		in = l.store.Inputs(l.Pattern)
+	}
+	return algebra.EvalSubPattern(l.Pattern, mask, in, l.join)
+}
+
+// ApplyInsert maintains every materialized snowcap after an insertion,
+// using Proposition 3.13: each snowcap's additions are the union terms of
+// its own sub-pattern, computed from smaller blocks and the ∆+ inputs. All
+// additions are computed against the pre-update state first, then
+// committed, so no term sees partially refreshed data. The store itself
+// must still hold the pre-update canonical relations when this runs.
+func (l *Lattice) ApplyInsert(deltaIn algebra.Inputs) {
+	l.ApplyInsertFrom(deltaIn, nil)
+}
+
+// ApplyInsertFrom is ApplyInsert with explicit R inputs for on-the-fly
+// blocks (used by deferred flushing); nil means the store's relations.
+// Nested one-node-per-level chains (the PolicySnowcaps layout) use the
+// cheap recurrence of Proposition 3.13's proof; arbitrary materialized sets
+// fall back to per-snowcap term expansion.
+func (l *Lattice) ApplyInsertFrom(deltaIn, rIn algebra.Inputs) {
+	if l.pool != nil {
+		return // the engine maintains the shared pool once per statement
+	}
+	if len(l.chain) == 0 {
+		return
+	}
+	if rIn == nil {
+		rIn = l.store.Inputs(l.Pattern)
+	}
+	if l.chainIsNested() {
+		l.applyInsertChain(deltaIn, rIn)
+		return
+	}
+	p := l.Pattern
+	additions := make(map[uint64][]algebra.Block, len(l.chain))
+	for _, mask := range l.chain {
+		for _, rmask := range snowcapTerms(p, mask) {
+			blk := l.termBlockFrom(mask, rmask, deltaIn, rIn)
+			if len(blk.Tuples) > 0 {
+				additions[mask] = append(additions[mask], blk)
+			}
+		}
+	}
+	for _, mask := range l.chain {
+		for _, blk := range additions[mask] {
+			l.mats[mask].AddBlock(blk)
+		}
+	}
+}
+
+// chainIsNested reports whether the materialized masks form a strict chain
+// growing by exactly one node per level, starting from a single node.
+func (l *Lattice) chainIsNested() bool {
+	p := l.Pattern
+	for k, mask := range l.chain {
+		want := k + 1
+		if len(pattern.MaskIndexes(mask)) != want {
+			return false
+		}
+		if k > 0 && l.chain[k-1]&^mask != 0 {
+			return false
+		}
+		// The added node's pattern parent must already be in the previous
+		// level (true for snowcaps, asserted for safety).
+		if k > 0 {
+			added := pattern.MaskIndexes(mask &^ l.chain[k-1])
+			if len(added) != 1 {
+				return false
+			}
+			if pi := p.ParentIndex(added[0]); pi >= 0 && !pattern.MaskContains(l.chain[k-1], pi) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyInsertChain maintains a nested snowcap chain with the recurrence of
+// Proposition 3.13: the additions to level k are the additions to level
+// k−1 joined with (R ∪ ∆) of the newly added node, plus the OLD level-k−1
+// content joined with that node's ∆. All joins are ∆-sized on at least one
+// side, which is what makes snowcap maintenance cheap.
+func (l *Lattice) applyInsertChain(deltaIn, rIn algebra.Inputs) {
+	p := l.Pattern
+	join := l.join
+	if join == nil {
+		join = algebra.StructuralJoin
+	}
+	// Additions per level, possibly several blocks (one per recurrence
+	// branch); committed only after every level is computed against the old
+	// state.
+	additions := make([][]algebra.Block, len(l.chain))
+
+	rootIdx := pattern.MaskIndexes(l.chain[0])[0]
+	if len(deltaIn[rootIdx]) > 0 {
+		additions[0] = []algebra.Block{algebra.SingleColumn(rootIdx, deltaIn[rootIdx])}
+	}
+	for k := 1; k < len(l.chain); k++ {
+		x := pattern.MaskIndexes(l.chain[k] &^ l.chain[k-1])[0]
+		pi := p.ParentIndex(x)
+		desc := p.Nodes[x].Desc
+		// Branch 1: ∆(level k−1) ⋈ (R ∪ ∆)_x.
+		if len(additions[k-1]) > 0 {
+			bothItems := make([]algebra.Item, 0, len(rIn[x])+len(deltaIn[x]))
+			bothItems = append(bothItems, rIn[x]...)
+			bothItems = append(bothItems, deltaIn[x]...)
+			both := algebra.SingleColumn(x, bothItems)
+			for _, db := range additions[k-1] {
+				if out := join(db, pi, both, x, desc); len(out.Tuples) > 0 {
+					additions[k] = append(additions[k], out)
+				}
+			}
+		}
+		// Branch 2: old(level k−1) ⋈ ∆_x.
+		if len(deltaIn[x]) > 0 {
+			old := l.mats[l.chain[k-1]].Block()
+			dx := algebra.SingleColumn(x, deltaIn[x])
+			if out := join(old, pi, dx, x, desc); len(out.Tuples) > 0 {
+				additions[k] = append(additions[k], out)
+			}
+		}
+	}
+	for k, mask := range l.chain {
+		for _, blk := range additions[k] {
+			l.mats[mask].AddBlock(blk)
+		}
+	}
+}
+
+// snowcapTerms enumerates the insertion terms of the sub-pattern induced by
+// mask: R-masks that are upward-closed within mask (and proper subsets).
+func snowcapTerms(p *pattern.Pattern, mask uint64) []uint64 {
+	var out []uint64
+	idxs := pattern.MaskIndexes(mask)
+	n := len(idxs)
+	for sub := uint64(0); sub < 1<<uint(n); sub++ {
+		var rmask uint64
+		for b, idx := range idxs {
+			if sub&(1<<uint(b)) != 0 {
+				rmask |= 1 << uint(idx)
+			}
+		}
+		if rmask == mask {
+			continue
+		}
+		if upClosedWithin(p, rmask, mask) {
+			out = append(out, rmask)
+		}
+	}
+	return out
+}
+
+// upClosedWithin reports whether rmask is upward-closed inside mask: for
+// every node in rmask, its closest ancestor within mask is also in rmask.
+func upClosedWithin(p *pattern.Pattern, rmask, mask uint64) bool {
+	for _, i := range pattern.MaskIndexes(rmask) {
+		pi := p.ParentIndex(i)
+		for pi >= 0 && !pattern.MaskContains(mask, pi) {
+			pi = p.ParentIndex(pi)
+		}
+		if pi < 0 {
+			continue
+		}
+		if !pattern.MaskContains(rmask, pi) {
+			return false
+		}
+	}
+	return true
+}
+
+// termBlock evaluates one term of a sub-pattern: block for rmask joined
+// with the ∆ forest covering mask\rmask. Forest roots attach to their
+// closest ancestor within mask.
+func (l *Lattice) termBlockFrom(mask, rmask uint64, deltaIn, rIn algebra.Inputs) algebra.Block {
+	dmask := mask &^ rmask
+	if rmask == 0 {
+		return l.evalMaskWith(mask, deltaIn, nil)
+	}
+	return l.evalMaskWith(dmask, deltaIn, &boundary{base: l.BlockFrom(rmask, rIn), rmask: rmask})
+}
+
+type boundary struct {
+	base  algebra.Block
+	rmask uint64
+}
+
+// evalMaskWith evaluates the sub-forest induced by dmask over deltaIn and,
+// when b is non-nil, joins each forest root against its closest ancestor in
+// b's R-mask. With b nil, dmask must be upward-closed within itself (a
+// single sub-pattern) — used for the all-∆ term.
+func (l *Lattice) evalMaskWith(dmask uint64, deltaIn algebra.Inputs, b *boundary) algebra.Block {
+	p := l.Pattern
+	if b == nil {
+		return algebra.EvalSubPattern(p, dmask, deltaIn, l.join)
+	}
+	block := b.base
+	// Identify forest roots of dmask and their attachment point in rmask.
+	for _, i := range pattern.MaskIndexes(dmask) {
+		pi := p.ParentIndex(i)
+		if pi >= 0 && pattern.MaskContains(dmask, pi) {
+			continue // interior node of the ∆ forest
+		}
+		// Closest ancestor inside rmask; the edge kind is // when any hop
+		// on the way (or the node's own edge) is a descendant edge.
+		desc := p.Nodes[i].Desc
+		anc := pi
+		for anc >= 0 && !pattern.MaskContains(b.rmask, anc) {
+			desc = true // skipping an unconstrained intermediate level
+			anc = p.ParentIndex(anc)
+		}
+		if anc < 0 {
+			// No ancestor in the block: cross product is not meaningful for
+			// tree patterns rooted at node 0; this cannot happen because
+			// rmask is upward-closed and contains the root.
+			panic("core: ∆ forest root with no ancestor in the R block")
+		}
+		sub := subMaskOf(p, i) & dmask
+		fb := algebra.EvalSubPattern(p, sub, deltaIn, l.join)
+		block = joinWithAxis(l.join, block, anc, fb, i, desc)
+	}
+	return block
+}
+
+func joinWithAxis(join algebra.JoinFunc, left algebra.Block, lIdx int, right algebra.Block, rIdx int, desc bool) algebra.Block {
+	if join == nil {
+		join = algebra.StructuralJoin
+	}
+	return join(left, lIdx, right, rIdx, desc)
+}
+
+func subMaskOf(p *pattern.Pattern, i int) uint64 {
+	var m uint64
+	m |= 1 << uint(i)
+	for j := i + 1; j < p.Size(); j++ {
+		if p.IsAncestor(i, j) {
+			m |= 1 << uint(j)
+		}
+	}
+	return m
+}
+
+// ApplyDelete maintains the materialized snowcaps after a deletion: any
+// tuple with a binding inside a deleted subtree is dropped, in one pass per
+// materialized node. This is the searching pass that makes Update Lattice
+// costlier for deletions than for insertions, as the paper observes.
+func (l *Lattice) ApplyDelete(deletedRoots []*xmltree.Node) int {
+	if l.pool != nil || len(deletedRoots) == 0 {
+		return 0 // pooled snowcaps are maintained by the engine
+	}
+	ids := make([]dewey.ID, len(deletedRoots))
+	for i, r := range deletedRoots {
+		ids[i] = r.ID
+	}
+	cover := dewey.NewCover(ids)
+	removed := 0
+	for _, m := range l.mats {
+		removed += m.RemoveUnderAny(cover)
+	}
+	return removed
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"time"
+
+	"xivm/internal/algebra"
+	"xivm/internal/dewey"
+	"xivm/internal/update"
+	"xivm/internal/xmltree"
+)
+
+// Lazy implements the deferred propagation mode Section 5 motivates: update
+// statements are applied to the document (and canonical relations)
+// immediately, but view propagation is postponed until Flush — typically
+// just before the view is consulted. The flush propagates the batch's NET
+// effect in two algebraic passes:
+//
+//  1. one deletion pass whose ∆− tables hold the detached subtrees
+//     (batch-inserted nodes excluded: the views never saw them, so
+//     counting them would over-decrement derivations), evaluated against
+//     final-state relations with the batch's surviving insertions masked
+//     out — a disjoint partition, so counts stay exact; then
+//  2. one insertion pass whose ∆+ tables hold the surviving inserted
+//     subtrees, against the same masked relations.
+//
+// Insert-then-delete churn inside a batch therefore costs nothing at flush
+// time — the effect the reduction rules of Section 5 obtain one operation
+// at a time, achieved here wholesale.
+type Lazy struct {
+	e        *Engine
+	insRoots []*xmltree.Node // every root inserted during the batch
+	delRoots []*xmltree.Node // every subtree detached during the batch
+	touched  []dewey.ID      // insertion targets and deletion parents
+	probes   []predProbe
+	pending  int
+}
+
+// NewLazy wraps an engine in deferred-propagation mode. Statements must go
+// through Lazy.Apply; mixing in direct Engine.ApplyStatement calls while a
+// batch is pending would propagate against half-updated state.
+func NewLazy(e *Engine) *Lazy {
+	if e.pool != nil {
+		panic("core: deferred propagation is incompatible with SharedSnowcaps")
+	}
+	return &Lazy{e: e}
+}
+
+// Pending returns the number of statements applied since the last flush.
+func (l *Lazy) Pending() int { return l.pending }
+
+// Apply runs the statement against the document and store only, recording
+// what Flush needs. The views go stale until Flush.
+func (l *Lazy) Apply(st *update.Statement) error {
+	e := l.e
+	pul, err := update.ComputePUL(e.Doc, st)
+	if err != nil {
+		return err
+	}
+	l.probes = append(l.probes, e.snapshotPredicates(pul)...)
+	applied, err := update.Apply(e.Doc, e.Store, pul)
+	if err != nil {
+		return err
+	}
+	switch pul.Kind {
+	case update.Insert:
+		l.insRoots = append(l.insRoots, applied.InsertedRoots...)
+		for _, pi := range pul.Inserts {
+			l.touched = append(l.touched, pi.Target.ID)
+		}
+	case update.Delete:
+		l.delRoots = append(l.delRoots, applied.DeletedRoots...)
+		for _, n := range applied.DeletedRoots {
+			l.touched = append(l.touched, n.ID.Parent())
+		}
+	}
+	l.pending++
+	return nil
+}
+
+// Flush propagates the batch's net effect to every view and resets the
+// batch. It returns the time spent propagating.
+func (l *Lazy) Flush() (time.Duration, error) {
+	if l.pending == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	e := l.e
+
+	// Nodes inserted during the batch, alive or not, identified by ID
+	// prefix against every recorded inserted root.
+	allIns := make([]dewey.ID, len(l.insRoots))
+	for i, r := range l.insRoots {
+		allIns[i] = r.ID
+	}
+	insCover := dewey.NewCover(allIns)
+
+	// Surviving insertions: roots still attached to the document.
+	var insAlive []*xmltree.Node
+	for _, r := range l.insRoots {
+		if e.Doc.NodeByID(r.ID) != nil {
+			insAlive = append(insAlive, r)
+		}
+	}
+
+	for _, mv := range e.Views {
+		l.flushView(mv, insCover, insAlive)
+	}
+
+	for mv := range flippedViews(l.probes) {
+		e.recomputeFallback(mv)
+	}
+
+	l.insRoots, l.delRoots, l.touched, l.probes, l.pending = nil, nil, nil, nil, 0
+	return time.Since(start), nil
+}
+
+func (l *Lazy) flushView(mv *ManagedView, insCover *dewey.Cover, insAlive []*xmltree.Node) {
+	e := l.e
+	p := mv.Pattern
+
+	// R for both passes: the final relations with every batch-inserted
+	// node masked out — exactly the pre-batch survivors.
+	rIn := excludeInputs(e.Store.Inputs(p), insCover)
+
+	// Pass 1: deletions. Materialized snowcaps drop bindings inside the
+	// detached subtrees first (they were never told about insertions, so
+	// after this they equal rIn's state).
+	mv.Lattice.ApplyDelete(l.delRoots)
+	if len(l.delRoots) > 0 {
+		removeRowsUnder(mv, l.delRoots)
+		delIn := excludeInputs(e.deltaInputs(p, l.delRoots), insCover)
+		terms := mv.deleteTerms
+		if !e.opts.DisableDataPruning {
+			terms = PruneByDelta(p, terms, delIn)
+		}
+		if !e.opts.DisableIDPruning {
+			terms = PruneByDeletedIDs(p, terms, delIn)
+		}
+		var storedMask uint64
+		for _, i := range p.StoredIndexes() {
+			storedMask |= 1 << uint(i)
+		}
+		for _, rmask := range terms {
+			if (p.FullMask()&^rmask)&storedMask != 0 {
+				continue // handled by removeRowsUnder
+			}
+			for _, row := range e.evalTermFrom(mv, rmask, delIn, rIn) {
+				mv.View.DecrementBy(row.Key(), row.Count)
+			}
+		}
+	}
+
+	// Pass 2: surviving insertions.
+	if len(insAlive) > 0 {
+		insIn := e.deltaInputs(p, insAlive)
+		terms := mv.insertTerms
+		if !e.opts.DisableDataPruning {
+			terms = PruneByDelta(p, terms, insIn)
+		}
+		if !e.opts.DisableIDPruning {
+			points := make([]*xmltree.Node, 0, len(insAlive))
+			for _, r := range insAlive {
+				if r.Parent != nil {
+					points = append(points, r.Parent)
+				}
+			}
+			terms = PruneByInsertionPoints(p, terms, points)
+		}
+		for _, rmask := range terms {
+			for _, row := range e.evalTermFrom(mv, rmask, insIn, rIn) {
+				mv.View.Upsert(row)
+			}
+		}
+		mv.Lattice.ApplyInsertFrom(insIn, rIn)
+	}
+
+	// Refresh stored val/cont of rows whose nodes enclose any touch point.
+	l.refreshTouched(mv)
+}
+
+// refreshTouched re-extracts val/cont for rows whose annotated entries are
+// ancestors-or-self of any insertion target or deletion parent.
+func (l *Lazy) refreshTouched(mv *ManagedView) {
+	cvn := mv.Pattern.ContValIndexes()
+	if len(cvn) == 0 || len(l.touched) == 0 {
+		return
+	}
+	cvnSet := make(map[int]bool, len(cvn))
+	for _, i := range cvn {
+		cvnSet[i] = true
+	}
+	affected := map[string]bool{}
+	for _, id := range l.touched {
+		for lvl := id.Level(); lvl >= 1; lvl-- {
+			affected[id.AncestorAt(lvl).Key()] = true
+		}
+	}
+	var dirty []string
+	mv.View.Each(func(r algebra.Row) bool {
+		for _, entry := range r.Entries {
+			if cvnSet[entry.NodeIdx] && affected[entry.ID.Key()] {
+				dirty = append(dirty, r.Key())
+				return true
+			}
+		}
+		return true
+	})
+	for _, key := range dirty {
+		l.e.refreshRow(mv, key, cvnSet)
+	}
+}
+
+// excludeInputs filters every node's items to those outside the cover.
+func excludeInputs(in algebra.Inputs, cover *dewey.Cover) algebra.Inputs {
+	if cover.Len() == 0 {
+		return in
+	}
+	out := make(algebra.Inputs, len(in))
+	for i, items := range in {
+		kept := make([]algebra.Item, 0, len(items))
+		for _, it := range items {
+			if !cover.Contains(it.ID) {
+				kept = append(kept, it)
+			}
+		}
+		out[i] = kept
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"xivm/internal/store"
+	"xivm/internal/update"
+	"xivm/internal/xmltree"
+)
+
+// Value predicates apply to the string value of a node — the concatenation
+// of its text descendants. An update deep inside a subtree can therefore
+// flip the predicate truth of an EXISTING ancestor node, a case the ∆-term
+// algebra cannot express (∆ tables only carry new/removed nodes). The paper
+// does not treat this case; we detect it exactly — by snapshotting, before
+// the update, the σ membership of the (few) predicate-labeled ancestors of
+// the update targets — and fall back to recomputing the affected view when
+// a flip actually occurred. Benchmarks never trigger it; random tests do.
+
+type predProbe struct {
+	view    *ManagedView
+	node    *xmltree.Node
+	predVal string
+	sat     bool
+}
+
+// snapshotPredicates records, for every view node carrying a value
+// predicate, the current σ membership of each label-compatible self-or-
+// ancestor of the update targets.
+func (e *Engine) snapshotPredicates(pul *update.PUL) []predProbe {
+	var targets []*xmltree.Node
+	if pul.Kind == update.Insert {
+		targets = pul.InsertionPoints()
+	} else {
+		for _, n := range pul.Deletes {
+			if n.Parent != nil {
+				targets = append(targets, n.Parent)
+			}
+		}
+	}
+	var probes []predProbe
+	for _, mv := range e.Views {
+		for _, pn := range mv.Pattern.Nodes {
+			if !pn.HasPred {
+				continue
+			}
+			seen := map[*xmltree.Node]bool{}
+			for _, t := range targets {
+				for s := t; s != nil; s = s.Parent {
+					if seen[s] {
+						break // the rest of the chain was captured already
+					}
+					seen[s] = true
+					if pn.Label == s.Label || (pn.Label == "*" && s.Kind == xmltree.Element) {
+						probes = append(probes, predProbe{
+							view:    mv,
+							node:    s,
+							predVal: pn.PredVal,
+							sat:     s.StringValue() == pn.PredVal,
+						})
+					}
+				}
+			}
+		}
+	}
+	return probes
+}
+
+// flippedViews rechecks the probes after the update and returns the views
+// whose σ membership changed for at least one existing node.
+func flippedViews(probes []predProbe) map[*ManagedView]bool {
+	out := map[*ManagedView]bool{}
+	for _, pr := range probes {
+		if (pr.node.StringValue() == pr.predVal) != pr.sat {
+			out[pr.view] = true
+		}
+	}
+	return out
+}
+
+// recomputeFallback rebuilds one view (rows and lattice) from the current
+// document state.
+func (e *Engine) recomputeFallback(mv *ManagedView) {
+	rows := e.RecomputeView(mv)
+	mv.View = store.NewMaterializedView(mv.Pattern, rows)
+	mv.Lattice = e.newLattice(mv.Pattern)
+}

@@ -1,0 +1,49 @@
+package dewey
+
+// Cover is a set of subtree roots supporting "is this node inside any of
+// the subtrees?" in O(depth) — the access path deletion propagation uses
+// against the roots of a pending update list. Because a Dewey ID carries
+// all its ancestors, membership reduces to hash probes on the ID's own
+// prefixes; no document access and no scan over the roots.
+type Cover struct {
+	keys map[string]bool
+}
+
+// NewCover builds a cover from subtree roots (nesting is harmless).
+func NewCover(roots []ID) *Cover {
+	c := &Cover{keys: make(map[string]bool, len(roots))}
+	for _, r := range roots {
+		c.keys[r.Key()] = true
+	}
+	return c
+}
+
+// Len returns the number of distinct roots.
+func (c *Cover) Len() int { return len(c.keys) }
+
+// Contains reports whether id equals or descends from one of the roots.
+func (c *Cover) Contains(id ID) bool {
+	if len(c.keys) == 0 {
+		return false
+	}
+	for lvl := id.Level(); lvl >= 1; lvl-- {
+		if c.keys[id.AncestorAt(lvl).Key()] {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsStrict reports whether id strictly descends from one of the
+// roots (id itself being a root does not count).
+func (c *Cover) ContainsStrict(id ID) bool {
+	if len(c.keys) == 0 {
+		return false
+	}
+	for lvl := id.Level() - 1; lvl >= 1; lvl-- {
+		if c.keys[id.AncestorAt(lvl).Key()] {
+			return true
+		}
+	}
+	return false
+}

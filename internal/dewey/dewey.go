@@ -1,0 +1,242 @@
+package dewey
+
+import (
+	"strings"
+)
+
+// Step is one component of a structural ID: the label of an ancestor (or of
+// the node itself, for the last step) and its dynamic ordinal among its
+// siblings.
+type Step struct {
+	Label string
+	Ord   Ord
+}
+
+// ID is a Compact Dynamic Dewey identifier: the sequence of steps from the
+// document root down to the node. The zero value is the "null" ID, which
+// identifies no node; it compares before every real ID.
+type ID struct {
+	steps []Step
+}
+
+// NewRoot returns the ID of a document root labeled label.
+func NewRoot(label string) ID {
+	return ID{steps: []Step{{Label: label, Ord: Ord{Gap}}}}
+}
+
+// Child returns the ID of a child of id with the given label and ordinal.
+func (id ID) Child(label string, ord Ord) ID {
+	steps := make([]Step, len(id.steps)+1)
+	copy(steps, id.steps)
+	steps[len(id.steps)] = Step{Label: label, Ord: ord}
+	return ID{steps: steps}
+}
+
+// IsNull reports whether id is the zero (null) ID.
+func (id ID) IsNull() bool { return len(id.steps) == 0 }
+
+// Level returns the depth of the node: 1 for the root, 0 for the null ID.
+func (id ID) Level() int { return len(id.steps) }
+
+// Label returns the node's own label (the label of the last step), or ""
+// for the null ID.
+func (id ID) Label() string {
+	if id.IsNull() {
+		return ""
+	}
+	return id.steps[len(id.steps)-1].Label
+}
+
+// Step returns the i-th step (0-based from the root).
+func (id ID) Step(i int) Step { return id.steps[i] }
+
+// Parent returns the ID of the node's parent (the Path Navigate primitive of
+// the paper). The parent of the root — and of the null ID — is the null ID.
+func (id ID) Parent() ID {
+	if len(id.steps) <= 1 {
+		return ID{}
+	}
+	return ID{steps: id.steps[:len(id.steps)-1]}
+}
+
+// AncestorAt returns the ancestor ID at the given level (1 = root). It
+// panics if level is out of range.
+func (id ID) AncestorAt(level int) ID {
+	if level < 1 || level > len(id.steps) {
+		panic("dewey: AncestorAt level out of range")
+	}
+	return ID{steps: id.steps[:level]}
+}
+
+// Ancestors returns the IDs of all proper ancestors, from the root down to
+// the parent. The paper exploits exactly this: from the ID of a node one may
+// extract the IDs and labels of all its ancestors.
+func (id ID) Ancestors() []ID {
+	if len(id.steps) <= 1 {
+		return nil
+	}
+	out := make([]ID, 0, len(id.steps)-1)
+	for i := 1; i < len(id.steps); i++ {
+		out = append(out, ID{steps: id.steps[:i]})
+	}
+	return out
+}
+
+// LabelPath returns the labels along the root-to-node path.
+func (id ID) LabelPath() []string {
+	out := make([]string, len(id.steps))
+	for i, s := range id.steps {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// Compare orders IDs in document order (preorder): an ancestor sorts before
+// its descendants, and siblings sort by ordinal. It returns -1, 0 or +1.
+func (id ID) Compare(other ID) int {
+	n := len(id.steps)
+	if len(other.steps) < n {
+		n = len(other.steps)
+	}
+	for i := 0; i < n; i++ {
+		if c := id.steps[i].Ord.Compare(other.steps[i].Ord); c != 0 {
+			return c
+		}
+		// Equal ordinals at the same level under the same parent means the
+		// same node, so labels must agree; compare defensively anyway.
+		if c := strings.Compare(id.steps[i].Label, other.steps[i].Label); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(id.steps) < len(other.steps):
+		return -1
+	case len(id.steps) > len(other.steps):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two IDs identify the same node.
+func (id ID) Equal(other ID) bool { return id.Compare(other) == 0 }
+
+// IsAncestorOf reports whether id ≺≺ other: id identifies a proper ancestor
+// of the node identified by other.
+func (id ID) IsAncestorOf(other ID) bool {
+	if id.IsNull() || len(id.steps) >= len(other.steps) {
+		return false
+	}
+	for i, s := range id.steps {
+		o := other.steps[i]
+		if s.Label != o.Label || !s.Ord.Equal(o.Ord) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParentOf reports whether id ≺ other: id identifies the parent of the
+// node identified by other.
+func (id ID) IsParentOf(other ID) bool {
+	return len(id.steps)+1 == len(other.steps) && id.IsAncestorOf(other)
+}
+
+// IsAncestorOrSelf reports id == other or id ≺≺ other.
+func (id ID) IsAncestorOrSelf(other ID) bool {
+	return id.Equal(other) || id.IsAncestorOf(other)
+}
+
+// HasAncestorLabeled reports whether any proper ancestor of the node carries
+// the given label — the label-path reasoning used by the paper's
+// inserted-ID-driven pruning (Proposition 3.8) and its deletion counterpart
+// (Proposition 4.7).
+func (id ID) HasAncestorLabeled(label string) bool {
+	for i := 0; i < len(id.steps)-1; i++ {
+		if id.steps[i].Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// SelfOrAncestorLabeled reports whether the node itself or any ancestor
+// carries the given label.
+func (id ID) SelfOrAncestorLabeled(label string) bool {
+	for _, s := range id.steps {
+		if s.Label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the ID in the paper's subscript style, e.g. "a1.c1.b2",
+// except ordinals are printed as their component vectors when they have
+// grown past a single component.
+func (id ID) String() string {
+	if id.IsNull() {
+		return "ε"
+	}
+	var b strings.Builder
+	for i, s := range id.steps {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(s.Label)
+		for j, c := range s.Ord {
+			if j > 0 {
+				b.WriteByte('_')
+			}
+			writeUint(&b, c/Gap, c%Gap)
+		}
+	}
+	return b.String()
+}
+
+func writeUint(b *strings.Builder, q, r uint64) {
+	if r == 0 {
+		b.WriteString(utoa(q))
+		return
+	}
+	b.WriteString(utoa(q))
+	b.WriteByte('+')
+	b.WriteString(utoa(r))
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Key returns a compact string usable as a map key, unique per node. The
+// encoding is length-prefixed and therefore injective.
+func (id ID) Key() string {
+	var b strings.Builder
+	putVarint(&b, uint64(len(id.steps)))
+	for _, s := range id.steps {
+		putVarint(&b, uint64(len(s.Label)))
+		b.WriteString(s.Label)
+		putVarint(&b, uint64(len(s.Ord)))
+		for _, c := range s.Ord {
+			putVarint(&b, c)
+		}
+	}
+	return b.String()
+}
+
+func putVarint(b *strings.Builder, v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}

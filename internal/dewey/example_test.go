@@ -1,0 +1,22 @@
+package dewey_test
+
+import (
+	"fmt"
+
+	"xivm/internal/dewey"
+)
+
+// ExampleBetween demonstrates the dynamic property: a fresh ordinal always
+// fits between two existing siblings without relabeling either.
+func ExampleBetween() {
+	a := dewey.NewRoot("a")
+	first := a.Child("b", dewey.OrdAt(0))
+	second := a.Child("b", dewey.OrdAt(1))
+	mid := a.Child("b", dewey.Between(dewey.OrdAt(0), dewey.OrdAt(1)))
+
+	fmt.Println(first.Compare(mid), mid.Compare(second))
+	fmt.Println(a.IsParentOf(mid), mid.HasAncestorLabeled("a"))
+	// Output:
+	// -1 -1
+	// true true
+}

@@ -1,0 +1,345 @@
+// Package dtd implements Section 3.3: DTDs expressed as extended context-
+// free grammars whose right-hand sides are regular expressions over
+// terminal and non-terminal symbols. It validates documents and inserted
+// forests, checks whether an insertion would violate the target's content
+// model, and derives the ∆+-table co-occurrence constraints of Examples
+// 3.9/3.10 (e.g. ∆c = ∅ ⇒ ∆b = ∅) for fast update rejection.
+//
+// Conventions: symbols starting with an upper-case letter are
+// non-terminals (macros, expanded in place; recursion among non-terminals
+// is rejected); other symbols are element labels. The special right-hand
+// sides "ε" (empty) and "#text" (text-only content) mark leaf elements.
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// reKind enumerates regex AST nodes.
+type reKind uint8
+
+const (
+	reEmpty reKind = iota // ε
+	reSym                 // one symbol
+	reText                // #text (any text content, no elements)
+	reCat                 // concatenation
+	reAlt                 // alternation
+	reStar                // zero or more
+	rePlus                // one or more
+	reOpt                 // zero or one
+)
+
+type re struct {
+	kind reKind
+	sym  string
+	subs []*re
+}
+
+// DTD is a parsed grammar.
+type DTD struct {
+	Root  string
+	rules map[string]*re
+}
+
+// Parse reads a grammar, one rule per line, as "lhs -> rhs" (or ":=").
+// The first rule's left-hand side is the document root symbol. Lines that
+// are empty or start with '#' are skipped.
+func Parse(src string) (*DTD, error) {
+	d := &DTD{rules: map[string]*re{}}
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var lhs, rhs string
+		switch {
+		case strings.Contains(line, "->"):
+			parts := strings.SplitN(line, "->", 2)
+			lhs, rhs = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		case strings.Contains(line, ":="):
+			parts := strings.SplitN(line, ":=", 2)
+			lhs, rhs = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		default:
+			return nil, fmt.Errorf("dtd: line %d: missing -> in %q", ln+1, line)
+		}
+		if lhs == "" {
+			return nil, fmt.Errorf("dtd: line %d: empty left-hand side", ln+1)
+		}
+		r, err := parseRegex(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("dtd: line %d: %v", ln+1, err)
+		}
+		if _, dup := d.rules[lhs]; dup {
+			// Multiple rules for one symbol combine by alternation.
+			d.rules[lhs] = &re{kind: reAlt, subs: []*re{d.rules[lhs], r}}
+		} else {
+			d.rules[lhs] = r
+		}
+		if d.Root == "" {
+			d.Root = lhs
+		}
+	}
+	if d.Root == "" {
+		return nil, fmt.Errorf("dtd: empty grammar")
+	}
+	// Reject recursion among non-terminals (macros must expand finitely).
+	for sym := range d.rules {
+		if isNonTerminal(sym) {
+			if d.macroRecursive(sym, map[string]bool{}) {
+				return nil, fmt.Errorf("dtd: recursive non-terminal %s", sym)
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *DTD {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func isNonTerminal(sym string) bool {
+	return len(sym) > 0 && sym[0] >= 'A' && sym[0] <= 'Z'
+}
+
+func (d *DTD) macroRecursive(sym string, path map[string]bool) bool {
+	if path[sym] {
+		return true
+	}
+	path[sym] = true
+	defer delete(path, sym)
+	r, ok := d.rules[sym]
+	if !ok {
+		return false
+	}
+	rec := false
+	walkRe(r, func(x *re) {
+		if x.kind == reSym && isNonTerminal(x.sym) && d.macroRecursive(x.sym, path) {
+			rec = true
+		}
+	})
+	return rec
+}
+
+func walkRe(r *re, f func(*re)) {
+	f(r)
+	for _, s := range r.subs {
+		walkRe(s, f)
+	}
+}
+
+// parseRegex parses: alternation of concatenations of (possibly repeated)
+// atoms. Concatenation separator is ',' (whitespace between atoms also
+// concatenates); atoms are symbols, ε, #text, or parenthesized groups, with
+// postfix +, * or ?.
+func parseRegex(s string) (*re, error) {
+	p := &reParser{src: s}
+	r, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input %q", p.src[p.pos:])
+	}
+	return r, nil
+}
+
+type reParser struct {
+	src string
+	pos int
+}
+
+func (p *reParser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *reParser) alt() (*re, error) {
+	left, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != '|' {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		left = &re{kind: reAlt, subs: []*re{left, right}}
+	}
+}
+
+func (p *reParser) cat() (*re, error) {
+	var parts []*re
+	for {
+		p.skip()
+		if p.pos >= len(p.src) {
+			break
+		}
+		c := p.src[p.pos]
+		if c == '|' || c == ')' {
+			break
+		}
+		if c == ',' {
+			p.pos++
+			continue
+		}
+		atom, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, atom)
+	}
+	switch len(parts) {
+	case 0:
+		return &re{kind: reEmpty}, nil
+	case 1:
+		return parts[0], nil
+	}
+	return &re{kind: reCat, subs: parts}, nil
+}
+
+func (p *reParser) atom() (*re, error) {
+	p.skip()
+	var base *re
+	switch {
+	case p.src[p.pos] == '(':
+		p.pos++
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("missing )")
+		}
+		p.pos++
+		base = inner
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && isSymByte(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("expected symbol at %q", p.src[p.pos:])
+		}
+		sym := p.src[start:p.pos]
+		switch sym {
+		case "ε", "EPSILON", "empty":
+			base = &re{kind: reEmpty}
+		case "#text":
+			base = &re{kind: reText}
+		default:
+			base = &re{kind: reSym, sym: sym}
+		}
+	}
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			return &re{kind: rePlus, subs: []*re{base}}, nil
+		case '*':
+			p.pos++
+			return &re{kind: reStar, subs: []*re{base}}, nil
+		case '?':
+			p.pos++
+			return &re{kind: reOpt, subs: []*re{base}}, nil
+		}
+	}
+	return base, nil
+}
+
+func isSymByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == '#':
+		return true
+	}
+	// ε is multi-byte UTF-8; accept its bytes.
+	return c >= 0x80
+}
+
+// content returns the content model of an element label with non-terminals
+// expanded, or nil when the DTD has no rule for it.
+func (d *DTD) content(label string) *re {
+	r, ok := d.rules[label]
+	if !ok {
+		return nil
+	}
+	return d.expand(r)
+}
+
+func (d *DTD) expand(r *re) *re {
+	switch r.kind {
+	case reSym:
+		if isNonTerminal(r.sym) {
+			sub, ok := d.rules[r.sym]
+			if !ok {
+				return r // undefined macro behaves as a plain symbol
+			}
+			return d.expand(sub)
+		}
+		return r
+	case reEmpty, reText:
+		return r
+	}
+	out := &re{kind: r.kind}
+	for _, s := range r.subs {
+		out.subs = append(out.subs, d.expand(s))
+	}
+	return out
+}
+
+// ElementLabels returns the element labels the grammar defines.
+func (d *DTD) ElementLabels() []string {
+	var out []string
+	for sym := range d.rules {
+		if !isNonTerminal(sym) {
+			out = append(out, sym)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PossibleChildren returns every element label (and "#text") that may occur
+// as a child of an l-labeled element according to the grammar. Unknown
+// elements yield nil.
+func (d *DTD) PossibleChildren(l string) map[string]bool {
+	model := d.content(l)
+	if model == nil {
+		return nil
+	}
+	out := map[string]bool{}
+	walkRe(model, func(x *re) {
+		switch x.kind {
+		case reSym:
+			out[x.sym] = true
+		case reText:
+			out["#text"] = true
+		}
+	})
+	return out
+}
+
+// DocumentRootLabel returns the element label of the document root, or ""
+// when the grammar's start symbol is a non-terminal.
+func (d *DTD) DocumentRootLabel() string {
+	if isNonTerminal(d.Root) {
+		return ""
+	}
+	return d.Root
+}

@@ -1,0 +1,213 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"xivm/internal/xmltree"
+)
+
+// d1 is the paper's Figure 5(a): mandatory edges.
+const d1Src = `
+d1 -> AS
+AS -> a+
+a -> BS
+BS -> b+
+b -> c
+c -> ε
+`
+
+// d2 is Figure 5(b): concatenation, disjunction and recursion.
+const d2Src = `
+d2 -> (a, b, c)+
+a -> BS
+BS -> x | ε
+x -> x | ε
+b -> ε
+c -> ε
+`
+
+func mustDoc(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func forest(t *testing.T, s string) []*xmltree.Node {
+	t.Helper()
+	f, err := xmltree.ParseForest(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"a b c",                  // missing ->
+		"a -> (b",                // missing )
+		" -> b",                  // empty lhs
+		"X -> Y\nY -> X\na -> X", // recursive non-terminals
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestValidateD1(t *testing.T) {
+	g := MustParse(d1Src)
+	good := mustDoc(t, `<d1><a><b><c/></b><b><c/></b></a></d1>`)
+	if err := g.ValidateDocument(good); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	bad := mustDoc(t, `<d1><a><b/></a></d1>`) // b without c
+	if err := g.ValidateDocument(bad); err == nil {
+		t.Fatal("b without c accepted")
+	}
+	noA := mustDoc(t, `<d1/>`)
+	if err := g.ValidateDocument(noA); err == nil {
+		t.Fatal("empty d1 accepted (a+ requires one a)")
+	}
+}
+
+func TestValidateD2(t *testing.T) {
+	g := MustParse(d2Src)
+	good := mustDoc(t, `<d2><a><x><x/></x></a><b/><c/><a/><b/><c/></d2>`)
+	if err := g.ValidateDocument(good); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	bad := mustDoc(t, `<d2><a/><b/></d2>`) // incomplete (a,b,c) group
+	if err := g.ValidateDocument(bad); err == nil {
+		t.Fatal("incomplete group accepted")
+	}
+	wrongRoot := mustDoc(t, `<other/>`)
+	if err := g.ValidateDocument(wrongRoot); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+// TestExample39 rejects the insertion of <a><b/></a> under d1 (a c element
+// is missing under b).
+func TestExample39(t *testing.T) {
+	g := MustParse(d1Src)
+	doc := mustDoc(t, `<d1><a><b><c/></b></a></d1>`)
+	f := forest(t, `<a><b></b></a>`)
+	if err := g.CheckInsert(doc.Root, f); err == nil {
+		t.Fatal("schema-violating insertion accepted")
+	}
+	okF := forest(t, `<a><b><c/></b></a>`)
+	if err := g.CheckInsert(doc.Root, okF); err != nil {
+		t.Fatalf("valid insertion rejected: %v", err)
+	}
+}
+
+// TestExample39Constraints: d1 implies ∆b ≠ ∅ ⇒ ∆c ≠ ∅ (the paper states
+// the contrapositive ∆c = ∅ ⇒ ∆b = ∅).
+func TestExample39Constraints(t *testing.T) {
+	g := MustParse(d1Src)
+	cs := g.Constraints()
+	found := false
+	for _, c := range cs {
+		if c.If == "b" && c.Requires == "c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing b⇒c constraint in %v", cs)
+	}
+	bad := g.CheckDeltaConstraints(DeltaSizes(forest(t, `<a><b/></a>`)))
+	if len(bad) == 0 {
+		t.Fatal("∆ check missed the violation")
+	}
+	ok := g.CheckDeltaConstraints(DeltaSizes(forest(t, `<a><b><c/></b></a>`)))
+	if len(ok) != 0 {
+		t.Fatalf("false violations: %v", ok)
+	}
+}
+
+// TestExample310Constraints: d2 implies ∆d2 requires a, b and c (inserting
+// a whole d2 group needs all three); and the group constraint shows up when
+// validating an insertion of a lone a under d2.
+func TestExample310Constraints(t *testing.T) {
+	g := MustParse(d2Src)
+	reqs := map[string]bool{}
+	for _, c := range g.Constraints() {
+		if c.If == "d2" {
+			reqs[c.Requires] = true
+		}
+	}
+	if !reqs["a"] || !reqs["b"] || !reqs["c"] {
+		t.Fatalf("d2 constraints incomplete: %v", g.Constraints())
+	}
+	// Context check: inserting a lone <a/> under d2 breaks (a,b,c)+.
+	doc := mustDoc(t, `<d2><a/><b/><c/></d2>`)
+	if err := g.CheckInsert(doc.Root, forest(t, `<a/>`)); err == nil {
+		t.Fatal("lone a insertion accepted")
+	}
+	if err := g.CheckInsert(doc.Root, forest(t, `<a/><b/><c/>`)); err != nil {
+		t.Fatalf("full group rejected: %v", err)
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	g := MustParse(`
+catalog -> product+
+product -> name, price
+name -> #text
+price -> #text
+`)
+	doc := mustDoc(t, `<catalog><product><name>Clock</name><price>10</price></product></catalog>`)
+	if err := g.ValidateDocument(doc); err != nil {
+		t.Fatalf("text content rejected: %v", err)
+	}
+	bad := mustDoc(t, `<catalog><product><name><sub/></name><price>10</price></product></catalog>`)
+	if err := g.ValidateDocument(bad); err == nil {
+		t.Fatal("element child in text-only element accepted")
+	}
+}
+
+func TestOptionalAndStar(t *testing.T) {
+	g := MustParse(`
+r -> a?, b*, c
+a -> ε
+b -> ε
+c -> ε
+`)
+	for _, good := range []string{`<r><c/></r>`, `<r><a/><c/></r>`, `<r><b/><b/><c/></r>`, `<r><a/><b/><c/></r>`} {
+		if err := g.ValidateDocument(mustDoc(t, good)); err != nil {
+			t.Errorf("%s rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{`<r/>`, `<r><a/><a/><c/></r>`, `<r><c/><a/></r>`} {
+		if err := g.ValidateDocument(mustDoc(t, bad)); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
+func TestUnknownElement(t *testing.T) {
+	g := MustParse(`r -> a*` + "\n" + `a -> ε`)
+	if err := g.ValidateDocument(mustDoc(t, `<r><zzz/></r>`)); err == nil {
+		t.Fatal("unknown element accepted")
+	}
+}
+
+func TestElementRecursionAllowed(t *testing.T) {
+	g := MustParse(d2Src)
+	deep := mustDoc(t, `<d2><a><x><x><x/></x></x></a><b/><c/></d2>`)
+	if err := g.ValidateDocument(deep); err != nil {
+		t.Fatalf("recursive element content rejected: %v", err)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{If: "b", Requires: "c"}
+	if !strings.Contains(c.String(), "∆b") {
+		t.Fatalf("String = %q", c)
+	}
+}

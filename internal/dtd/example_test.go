@@ -1,0 +1,34 @@
+package dtd_test
+
+import (
+	"fmt"
+
+	"xivm/internal/dtd"
+	"xivm/internal/xmltree"
+)
+
+// ExampleDTD_CheckInsert gates an update on the schema, as Section 3.3
+// proposes: the derived ∆ constraints and the content model both reject the
+// invalid insertion.
+func ExampleDTD_CheckInsert() {
+	g := dtd.MustParse(`
+d1 -> AS
+AS -> a+
+a -> BS
+BS -> b+
+b -> c
+c -> ε
+`)
+	doc, _ := xmltree.ParseString(`<d1><a><b><c/></b></a></d1>`)
+
+	bad, _ := xmltree.ParseForest(`<a><b/></a>`) // b without its mandatory c
+	fmt.Println("∆ violations:", g.CheckDeltaConstraints(dtd.DeltaSizes(bad)))
+	fmt.Println("insert:", g.CheckInsert(doc.Root, bad) != nil)
+
+	good, _ := xmltree.ParseForest(`<a><b><c/></b></a>`)
+	fmt.Println("good insert:", g.CheckInsert(doc.Root, good) == nil)
+	// Output:
+	// ∆ violations: [∆a ≠ ∅ ⇒ ∆c ≠ ∅ ∆b ≠ ∅ ⇒ ∆c ≠ ∅]
+	// insert: true
+	// good insert: true
+}

@@ -1,0 +1,26 @@
+package dtd
+
+import "testing"
+
+// FuzzParse hardens the grammar parser; accepted grammars must answer
+// constraint derivation without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"r -> a+\na -> b | c\nb -> ε\nc -> #text",
+		"d2 -> (a, b, c)+\na -> BS\nBS -> x | ε\nx -> x | ε\nb -> ε\nc -> ε",
+		"r -> (a?, b*)+",
+		"a b c", "X -> Y\nY -> X", "r -> (a",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = g.Constraints()
+		for _, l := range g.ElementLabels() {
+			_ = g.PossibleChildren(l)
+		}
+	})
+}

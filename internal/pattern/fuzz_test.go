@@ -1,0 +1,37 @@
+package pattern
+
+import "testing"
+
+// FuzzParse hardens the tree-pattern parser: accepted inputs must print
+// stably and produce structurally sound patterns.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`//a{ID}//b{ID}`,
+		`//a{ID,val,cont}[val="5"]/b`,
+		`//a[//b{ID}//c]//d{ID}`,
+		`/r/@id{ID}`,
+		`//~word{ID}`,
+		`//a{`, `//a[val=`, `//a[//b`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("print of %q -> %q does not reparse: %v", src, printed, err)
+		}
+		if p2.String() != printed {
+			t.Fatalf("unstable print: %q vs %q", printed, p2.String())
+		}
+		for i := 1; i < p.Size(); i++ {
+			if p.ParentIndex(i) < 0 || p.ParentIndex(i) >= i {
+				t.Fatalf("broken preorder parents in %q", printed)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse builds a pattern from the compact syntax produced by
+// Pattern.String, e.g.
+//
+//	//a{ID}[//b{ID}//c]//d{ID,cont}[val="5"]
+//
+// Steps start with / or //; {…} lists stored attributes (ID, val, cont);
+// [val="c"] attaches a value predicate; [/…] or [//…] opens a branch.
+func Parse(s string) (*Pattern, error) {
+	pp := &patParser{src: s}
+	root, err := pp.parseStep()
+	if err != nil {
+		return nil, err
+	}
+	if pp.pos != len(pp.src) {
+		return nil, fmt.Errorf("pattern: trailing input %q", pp.src[pp.pos:])
+	}
+	return New(root)
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) *Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type patParser struct {
+	src string
+	pos int
+}
+
+func (p *patParser) eat(tok string) bool {
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// parseStep parses one node plus its branches and continuation, returning
+// the node (continuation and branches become children).
+func (p *patParser) parseStep() (*Node, error) {
+	n := &Node{}
+	switch {
+	case p.eat("//"):
+		n.Desc = true
+	case p.eat("/"):
+		n.Desc = false
+	default:
+		return nil, fmt.Errorf("pattern: expected / or // at %q", p.src[p.pos:])
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isLabelByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("pattern: expected label at %q", p.src[p.pos:])
+	}
+	n.Label = p.src[start:p.pos]
+	// Annotations.
+	for {
+		switch {
+		case p.eat("{"):
+			end := strings.IndexByte(p.src[p.pos:], '}')
+			if end < 0 {
+				return nil, fmt.Errorf("pattern: missing }")
+			}
+			for _, part := range strings.Split(p.src[p.pos:p.pos+end], ",") {
+				switch strings.TrimSpace(part) {
+				case "ID", "id":
+					n.Store |= StoreID
+				case "val":
+					n.Store |= StoreVal
+				case "cont":
+					n.Store |= StoreCont
+				case "":
+				default:
+					return nil, fmt.Errorf("pattern: unknown store %q", part)
+				}
+			}
+			p.pos += end + 1
+		case strings.HasPrefix(p.src[p.pos:], "[val="):
+			p.pos += len("[val=")
+			lit, err := p.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eat("]") {
+				return nil, fmt.Errorf("pattern: missing ] after predicate")
+			}
+			n.HasPred = true
+			n.PredVal = lit
+		default:
+			goto branches
+		}
+	}
+branches:
+	// Branch children.
+	for strings.HasPrefix(p.src[p.pos:], "[/") {
+		p.pos++ // consume [
+		child, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat("]") {
+			return nil, fmt.Errorf("pattern: missing ] after branch")
+		}
+		n.Children = append(n.Children, child)
+	}
+	// Continuation child.
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		child, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	return n, nil
+}
+
+func (p *patParser) parseQuoted() (string, error) {
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("pattern: expected quoted literal at end")
+	}
+	q := p.src[p.pos]
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("pattern: expected quote at %q", p.src[p.pos:])
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("pattern: unterminated literal")
+	}
+	lit := p.src[start:p.pos]
+	p.pos++
+	return lit, nil
+}
+
+func isLabelByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == '.', c == '@', c == '*', c == '#', c == '~':
+		return true
+	}
+	return false
+}

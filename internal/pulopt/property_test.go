@@ -1,0 +1,147 @@
+package pulopt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xivm/internal/core"
+	"xivm/internal/pattern"
+	"xivm/internal/xmltree"
+)
+
+// TestReducePropertyEquivalence: for random operation sequences over random
+// documents, applying the reduced sequence produces the same final document
+// and the same maintained view as applying the original sequence.
+func TestReducePropertyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 60; trial++ {
+		src := randomTree(rng)
+
+		build := func() (*core.Engine, *core.ManagedView, []*xmltree.Node) {
+			d, err := xmltree.ParseString(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := core.NewEngine(d, core.Options{})
+			mv, err := e.AddView("v", pattern.MustParse(`//a{ID}//b{ID}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nodes []*xmltree.Node
+			xmltree.Walk(d.Root, func(n *xmltree.Node) bool {
+				if n.Kind == xmltree.Element && n.Parent != nil {
+					nodes = append(nodes, n)
+				}
+				return true
+			})
+			return e, mv, nodes
+		}
+
+		mkOps := func(nodes []*xmltree.Node) Seq {
+			var ops Seq
+			for i := 0; i < 2+rng.Intn(8); i++ {
+				n := nodes[rng.Intn(len(nodes))]
+				if rng.Intn(3) == 0 {
+					ops = append(ops, Op{Kind: Del, Target: n.ID})
+				} else {
+					f, _ := xmltree.ParseForest(fmt.Sprintf("<%s/>", []string{"a", "b", "c"}[rng.Intn(3)]))
+					ops = append(ops, Op{Kind: InsLast, Target: n.ID, Forest: f})
+				}
+			}
+			return ops
+		}
+
+		e1, v1, nodes1 := build()
+		ops := mkOps(nodes1)
+		if _, err := Apply(e1, ops); err != nil {
+			t.Fatal(err)
+		}
+
+		e2, v2, nodes2 := build()
+		// Rebuild identical ops against e2's (identical) IDs.
+		ops2 := make(Seq, len(ops))
+		for i, op := range ops {
+			// IDs are deterministic across both engines, so targets align.
+			_ = nodes2
+			ops2[i] = op
+		}
+		reduced := Reduce(ops2)
+		if len(reduced) > len(ops2) {
+			t.Fatal("reduction grew the sequence")
+		}
+		if _, err := Apply(e2, reduced); err != nil {
+			t.Fatal(err)
+		}
+
+		if e1.Doc.String() != e2.Doc.String() {
+			t.Fatalf("trial %d: documents differ\nraw:     %s\nreduced: %s\nops: %v\nreduced ops: %v",
+				trial, e1.Doc, e2.Doc, ops, reduced)
+		}
+		r1, r2 := v1.View.Rows(), v2.View.Rows()
+		if len(r1) != len(r2) {
+			t.Fatalf("trial %d: views differ (%d vs %d rows)", trial, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if r1[i].Key() != r2[i].Key() || r1[i].Count != r2[i].Count {
+				t.Fatalf("trial %d: view row %d differs", trial, i)
+			}
+		}
+		if !e2.CheckView(v2) {
+			t.Fatalf("trial %d: reduced-sequence view inconsistent with recomputation", trial)
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand) string {
+	labels := []string{"a", "b", "c"}
+	var build func(lvl int) string
+	build = func(lvl int) string {
+		l := labels[rng.Intn(len(labels))]
+		var sb strings.Builder
+		sb.WriteString("<" + l + ">")
+		if lvl < 3 {
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				sb.WriteString(build(lvl + 1))
+			}
+		}
+		sb.WriteString("</" + l + ">")
+		return sb.String()
+	}
+	return "<r>" + build(1) + build(1) + "</r>"
+}
+
+// TestIntegrateNoFalseConflicts: disjoint PULs integrate without conflicts
+// and concatenate in order.
+func TestIntegrateNoFalseConflicts(t *testing.T) {
+	d := mustDoc(t, `<a><c><b/></c><f/></a>`)
+	c := d.Root.ElementChildren()[0]
+	f := d.Root.ElementChildren()[1]
+	forest1, _ := xmltree.ParseForest(`<x/>`)
+	forest2, _ := xmltree.ParseForest(`<y/>`)
+	d1 := Seq{{Kind: InsLast, Target: c.ID, Forest: forest1}}
+	d2 := Seq{{Kind: InsLast, Target: f.ID, Forest: forest2}}
+	merged, conflicts := Integrate(d1, d2)
+	if len(conflicts) != 0 {
+		t.Fatalf("false conflicts: %v", conflicts)
+	}
+	if len(merged) != 2 || !merged[0].Target.Equal(c.ID) {
+		t.Fatalf("merged = %v", merged)
+	}
+}
+
+// TestAggregateDisjointConcatenates: aggregation of unrelated PULs is plain
+// concatenation.
+func TestAggregateDisjointConcatenates(t *testing.T) {
+	d := mustDoc(t, `<a><c/><f/></a>`)
+	c := d.Root.ElementChildren()[0]
+	f := d.Root.ElementChildren()[1]
+	forest, _ := xmltree.ParseForest(`<x/>`)
+	d1 := Seq{{Kind: InsLast, Target: c.ID, Forest: forest}}
+	d2 := Seq{{Kind: Del, Target: f.ID}}
+	got := Aggregate(d1, d2)
+	if len(got) != 2 || got[0].Kind != InsLast || got[1].Kind != Del {
+		t.Fatalf("got %v", got)
+	}
+}

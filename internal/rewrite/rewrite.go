@@ -1,0 +1,327 @@
+// Package rewrite answers tree-pattern queries from materialized views —
+// the reason the paper's views store structural IDs in the first place:
+// "storing IDs in views enables combining several views in order to answer
+// a query". Two sound and exact (derivation-count-preserving) strategies
+// are implemented over ID-complete views (views storing the ID of every
+// pattern node):
+//
+//   - single-view rewriting: the query is answered from one view whose
+//     pattern matches it node-for-node, with residual parent-child and
+//     value predicates applied directly on the stored IDs/values;
+//   - two-view stitching: the query is split at a node, its upper part
+//     answered by one view and the subtree below the split by another,
+//     joined on the split node's ID.
+//
+// Answer never consults the base document; everything comes from view rows.
+package rewrite
+
+import (
+	"fmt"
+
+	"xivm/internal/algebra"
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+)
+
+// View couples a pattern with its materialized rows (the shape
+// core.ManagedView exposes; accepted structurally to avoid a dependency).
+type View struct {
+	Name    string
+	Pattern *pattern.Pattern
+	Rows    *store.View
+}
+
+// Plan describes how a query was answered.
+type Plan struct {
+	Kind  string // "single" or "stitch"
+	Views []string
+	// SplitNode is the query node index the stitch joined on (stitch only).
+	SplitNode int
+}
+
+func (p *Plan) Explain() string {
+	if p.Kind == "single" {
+		return fmt.Sprintf("single-view rewrite over %s", p.Views[0])
+	}
+	return fmt.Sprintf("stitch of %s and %s on query node %d", p.Views[0], p.Views[1], p.SplitNode)
+}
+
+// Answer computes the query's rows (projected onto its stored nodes, with
+// exact derivation counts) from the given views, or reports that no
+// rewriting exists.
+func Answer(q *pattern.Pattern, views []*View) ([]algebra.Row, *Plan, error) {
+	for _, v := range views {
+		if rows, ok := answerSingle(q, v); ok {
+			return rows, &Plan{Kind: "single", Views: []string{v.Name}}, nil
+		}
+	}
+	// Try every split node and every view pair.
+	for c := 1; c < q.Size(); c++ {
+		topQ, topMap, botQ, botMap := split(q, c)
+		for _, vTop := range views {
+			topRows, ok := answerSingleMapped(topQ, vTop)
+			if !ok {
+				continue
+			}
+			for _, vBot := range views {
+				botRows, ok := answerSingleMapped(botQ, vBot)
+				if !ok {
+					continue
+				}
+				rows := stitch(q, c, topQ, topMap, topRows, botQ, botMap, botRows)
+				return rows, &Plan{
+					Kind:      "stitch",
+					Views:     []string{vTop.Name, vBot.Name},
+					SplitNode: c,
+				}, nil
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("rewrite: no view combination answers %s", q)
+}
+
+// idComplete reports whether every node of the view stores its ID — the
+// prerequisite for exact-count answering.
+func idComplete(v *View) bool {
+	for _, n := range v.Pattern.Nodes {
+		if !n.Store.Has(pattern.StoreID) {
+			return false
+		}
+	}
+	return true
+}
+
+// mapping is a bijection query-node-index → view-node-index plus the
+// residual checks to run on each view row.
+type mapping struct {
+	qToV []int
+	// parentChecks: pairs (qChild) whose / edge mapped onto a // view edge
+	// and must be re-verified on IDs.
+	parentChecks []int
+	// valChecks: query predicates absent on the view node, checked against
+	// the stored val.
+	valChecks []valCheck
+}
+
+type valCheck struct {
+	qIdx int
+	val  string
+}
+
+// matchPatterns finds a structure-preserving bijection from q onto v:
+// equal labels; q's / edges map onto v edges that are / (exact) or //
+// (re-checked on IDs); q's // edges require v // edges; view predicates
+// must appear on the query (or the view filters too much); query predicates
+// missing on the view are post-checked against stored values.
+func matchPatterns(q, v *pattern.Pattern) (*mapping, bool) {
+	if q.Size() != v.Size() {
+		return nil, false
+	}
+	m := &mapping{qToV: make([]int, q.Size())}
+	var match func(qn, vn *pattern.Node, root bool) bool
+	match = func(qn, vn *pattern.Node, root bool) bool {
+		if qn.Label != vn.Label {
+			return false
+		}
+		if !root {
+			switch {
+			case qn.Desc && !vn.Desc:
+				// Query wants any descendant; the view only holds children.
+				return false
+			case !qn.Desc && vn.Desc:
+				m.parentChecks = append(m.parentChecks, qn.Index)
+			}
+		} else if !qn.Desc && vn.Desc {
+			// Root anchoring: query wants the document root only.
+			m.parentChecks = append(m.parentChecks, qn.Index) // level check
+		} else if qn.Desc && !vn.Desc {
+			return false
+		}
+		// Predicates.
+		switch {
+		case vn.HasPred && (!qn.HasPred || qn.PredVal != vn.PredVal):
+			return false // the view filters rows the query wants
+		case qn.HasPred && !vn.HasPred:
+			if !vn.Store.Has(pattern.StoreVal) {
+				return false // cannot re-check without the stored value
+			}
+			m.valChecks = append(m.valChecks, valCheck{qIdx: qn.Index, val: qn.PredVal})
+		}
+		if len(qn.Children) != len(vn.Children) {
+			return false
+		}
+		// Children must match in order (patterns are ordered trees here; a
+		// permutation search would also be sound but is rarely needed).
+		for i := range qn.Children {
+			if !match(qn.Children[i], vn.Children[i], false) {
+				return false
+			}
+		}
+		m.qToV[qn.Index] = vn.Index
+		return true
+	}
+	if !match(q.Root, v.Root, true) {
+		return nil, false
+	}
+	return m, true
+}
+
+// answerSingle answers q fully from one view.
+func answerSingle(q *pattern.Pattern, v *View) ([]algebra.Row, bool) {
+	rows, ok := answerSingleMapped(q, v)
+	if !ok {
+		return nil, false
+	}
+	return projectRows(q, rows), true
+}
+
+// answerSingleMapped returns full-width (per query node) entries for every
+// view row passing the residual checks, without projecting.
+func answerSingleMapped(q *pattern.Pattern, v *View) ([]algebra.Row, bool) {
+	if !idComplete(v) {
+		return nil, false
+	}
+	m, ok := matchPatterns(q, v.Pattern)
+	if !ok {
+		return nil, false
+	}
+	// Column of each view node in its stored rows (stored = all nodes).
+	vCol := make([]int, v.Pattern.Size())
+	for i, idx := range v.Pattern.StoredIndexes() {
+		vCol[idx] = i
+	}
+	var out []algebra.Row
+	v.Rows.Each(func(r algebra.Row) bool {
+		// Residual structural checks.
+		for _, qIdx := range m.parentChecks {
+			child := r.Entries[vCol[m.qToV[qIdx]]].ID
+			if pi := q.ParentIndex(qIdx); pi >= 0 {
+				parent := r.Entries[vCol[m.qToV[pi]]].ID
+				if !parent.IsParentOf(child) {
+					return true
+				}
+			} else if child.Level() != 1 {
+				return true // root anchoring failed
+			}
+		}
+		for _, vc := range m.valChecks {
+			if r.Entries[vCol[m.qToV[vc.qIdx]]].Val != vc.val {
+				return true
+			}
+		}
+		// Reorder entries into query-node order.
+		entries := make([]algebra.RowEntry, q.Size())
+		for qi := 0; qi < q.Size(); qi++ {
+			e := r.Entries[vCol[m.qToV[qi]]]
+			e.NodeIdx = qi
+			entries[qi] = e
+		}
+		out = append(out, algebra.Row{Entries: entries, Count: r.Count})
+		return true
+	})
+	return out, true
+}
+
+// split cuts q at node c: the top pattern keeps everything except c's
+// proper descendants (c becomes a leaf), the bottom pattern is c's subtree
+// re-rooted at c (with a descendant-anchored root, since the stitch joins
+// on exact IDs anyway). Both come with their query-index maps.
+func split(q *pattern.Pattern, c int) (topQ *pattern.Pattern, topMap []int, botQ *pattern.Pattern, botMap []int) {
+	full := q.FullMask()
+	var descMask uint64
+	for j := 0; j < q.Size(); j++ {
+		if q.IsAncestor(c, j) {
+			descMask |= 1 << uint(j)
+		}
+	}
+	topMask := full &^ descMask
+	topQ, topMap = q.SubPattern(topMask)
+	// Bottom: clone the subtree rooted at c.
+	var cloneFrom func(n *pattern.Node) *pattern.Node
+	cloneFrom = func(n *pattern.Node) *pattern.Node {
+		cp := &pattern.Node{Label: n.Label, Desc: true, Store: n.Store, HasPred: n.HasPred, PredVal: n.PredVal}
+		if n.Index != c {
+			cp.Desc = n.Desc
+		}
+		for _, ch := range n.Children {
+			cp.Children = append(cp.Children, cloneFrom(ch))
+		}
+		return cp
+	}
+	botRoot := cloneFrom(q.Nodes[c])
+	botQ = pattern.MustNew(botRoot)
+	for j := c; j < q.Size(); j++ {
+		if j == c || q.IsAncestor(c, j) {
+			botMap = append(botMap, j)
+		}
+	}
+	return topQ, topMap, botQ, botMap
+}
+
+// stitch joins the top rows (full-width over topQ) with the bottom rows
+// (full-width over botQ) on the split node's ID, producing full-width rows
+// over q, then projects.
+func stitch(q *pattern.Pattern, c int, topQ *pattern.Pattern, topMap []int, topRows []algebra.Row,
+	botQ *pattern.Pattern, botMap []int, botRows []algebra.Row) []algebra.Row {
+	// Position of c in each part.
+	topC, botC := -1, 0
+	for i, orig := range topMap {
+		if orig == c {
+			topC = i
+		}
+	}
+	byID := map[string][]algebra.Row{}
+	for _, r := range botRows {
+		byID[r.Entries[botC].ID.Key()] = append(byID[r.Entries[botC].ID.Key()], r)
+	}
+	var joined []algebra.Row
+	for _, tr := range topRows {
+		key := tr.Entries[topC].ID.Key()
+		for _, br := range byID[key] {
+			entries := make([]algebra.RowEntry, q.Size())
+			for i, orig := range topMap {
+				e := tr.Entries[i]
+				e.NodeIdx = orig
+				entries[orig] = e
+			}
+			for i, orig := range botMap {
+				e := br.Entries[i]
+				e.NodeIdx = orig
+				entries[orig] = e
+			}
+			joined = append(joined, algebra.Row{Entries: entries, Count: tr.Count * br.Count})
+		}
+	}
+	return projectRows(q, joined)
+}
+
+// projectRows projects full-width rows onto q's stored nodes, summing
+// counts of collapsing rows, sorted in ID order.
+func projectRows(q *pattern.Pattern, rows []algebra.Row) []algebra.Row {
+	stored := q.StoredIndexes()
+	byKey := map[string]int{}
+	var out []algebra.Row
+	for _, r := range rows {
+		pr := algebra.Row{Entries: make([]algebra.RowEntry, len(stored)), Count: r.Count}
+		for i, idx := range stored {
+			e := r.Entries[idx]
+			pn := q.Nodes[idx]
+			if !pn.Store.Has(pattern.StoreVal) {
+				e.Val = ""
+			}
+			if !pn.Store.Has(pattern.StoreCont) {
+				e.Cont = ""
+			}
+			pr.Entries[i] = e
+		}
+		k := pr.Key()
+		if at, ok := byKey[k]; ok {
+			out[at].Count += pr.Count
+		} else {
+			byKey[k] = len(out)
+			out = append(out, pr)
+		}
+	}
+	algebra.SortRows(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"xivm/internal/algebra"
+	"xivm/internal/dewey"
+)
+
+// Snapshot encoding: a compact binary image of a view's rows, with a shared
+// label dictionary so structural IDs stay small — the paper's observation
+// that views carrying only IDs are standalone artifacts that can be laid
+// out on disk.
+
+const snapshotMagic = "XIVM1"
+
+// EncodeSnapshot serializes the view's live rows.
+func EncodeSnapshot(v *View) []byte {
+	var dict dewey.Dict
+	rows := v.Rows()
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(len(rows)))
+	for _, r := range rows {
+		body = binary.AppendUvarint(body, uint64(r.Count))
+		body = binary.AppendUvarint(body, uint64(len(r.Entries)))
+		for _, e := range r.Entries {
+			body = binary.AppendUvarint(body, uint64(e.NodeIdx))
+			body = e.ID.Encode(&dict, body)
+			body = appendString(body, e.Val)
+			body = appendString(body, e.Cont)
+		}
+	}
+	// Header: magic, dictionary, then body.
+	out := []byte(snapshotMagic)
+	out = binary.AppendUvarint(out, uint64(dict.Len()))
+	for i := 0; i < dict.Len(); i++ {
+		label, _ := dict.Label(uint64(i))
+		out = appendString(out, label)
+	}
+	return append(out, body...)
+}
+
+// DecodeSnapshot restores rows previously encoded with EncodeSnapshot.
+func DecodeSnapshot(data []byte) ([]algebra.Row, error) {
+	if len(data) < len(snapshotMagic) || string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, errors.New("store: bad snapshot magic")
+	}
+	pos := len(snapshotMagic)
+	nLabels, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return nil, errors.New("store: truncated label count")
+	}
+	pos += k
+	var dict dewey.Dict
+	for i := uint64(0); i < nLabels; i++ {
+		s, n, err := readString(data[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		dict.Code(s)
+	}
+	nRows, k := binary.Uvarint(data[pos:])
+	if k <= 0 {
+		return nil, errors.New("store: truncated row count")
+	}
+	pos += k
+	rows := make([]algebra.Row, 0, nRows)
+	for i := uint64(0); i < nRows; i++ {
+		count, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, errors.New("store: truncated count")
+		}
+		pos += k
+		nEnt, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, errors.New("store: truncated entry count")
+		}
+		pos += k
+		r := algebra.Row{Count: int(count), Entries: make([]algebra.RowEntry, 0, nEnt)}
+		for j := uint64(0); j < nEnt; j++ {
+			idx, k := binary.Uvarint(data[pos:])
+			if k <= 0 {
+				return nil, errors.New("store: truncated node index")
+			}
+			pos += k
+			id, n, err := dewey.Decode(&dict, data[pos:])
+			if err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			pos += n
+			val, n, err := readString(data[pos:])
+			if err != nil {
+				return nil, err
+			}
+			pos += n
+			cont, n, err := readString(data[pos:])
+			if err != nil {
+				return nil, err
+			}
+			pos += n
+			r.Entries = append(r.Entries, algebra.RowEntry{NodeIdx: int(idx), ID: id, Val: val, Cont: cont})
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte) (string, int, error) {
+	n, k := binary.Uvarint(src)
+	if k <= 0 {
+		return "", 0, errors.New("store: truncated string length")
+	}
+	if uint64(len(src)-k) < n {
+		return "", 0, errors.New("store: truncated string body")
+	}
+	return string(src[k : k+int(n)]), k + int(n), nil
+}

@@ -1,0 +1,201 @@
+// Package store implements the storage layer: per-label canonical relations
+// R_a sorted in document order, materialized view row stores, lattice-node
+// (snowcap) materializations, and a compact binary snapshot format. It
+// plays the role BerkeleyDB played in the paper's ViP2P prototype.
+package store
+
+import (
+	"sort"
+	"strings"
+
+	"xivm/internal/algebra"
+	"xivm/internal/pattern"
+	"xivm/internal/xmltree"
+)
+
+// Store indexes one document: it maintains the virtual canonical relation
+// R_a of every label a (the list of (ID,val,cont) tuples of a-labeled
+// nodes, in document order) as a sorted slice of items, plus the list of
+// all element nodes for wildcard pattern nodes.
+type Store struct {
+	doc   *xmltree.Document
+	rels  map[string][]algebra.Item
+	elems []algebra.Item
+}
+
+// New builds the canonical relations of doc.
+func New(doc *xmltree.Document) *Store {
+	s := &Store{doc: doc, rels: make(map[string][]algebra.Item)}
+	xmltree.Walk(doc.Root, func(n *xmltree.Node) bool {
+		s.rels[n.Label] = append(s.rels[n.Label], algebra.Item{ID: n.ID, Node: n})
+		if n.Kind == xmltree.Element {
+			s.elems = append(s.elems, algebra.Item{ID: n.ID, Node: n})
+		}
+		return true
+	})
+	// Document walk is preorder, so relations are born sorted.
+	return s
+}
+
+// Doc returns the indexed document.
+func (s *Store) Doc() *xmltree.Document { return s.doc }
+
+// Items returns the canonical relation for a pattern label: "*" yields all
+// elements, "@name" attribute nodes, "#text" text nodes, "~word" the text
+// nodes containing that word, anything else the elements with that label.
+// The returned slice is shared (except for word labels); callers must not
+// mutate it.
+func (s *Store) Items(label string) []algebra.Item {
+	if label == "*" {
+		return s.elems
+	}
+	if word, isWord := strings.CutPrefix(label, "~"); isWord {
+		var out []algebra.Item
+		for _, it := range s.rels[xmltree.TextLabel] {
+			if it.Node != nil && it.Node.MatchesWord(word) {
+				out = append(out, it)
+			}
+		}
+		return out
+	}
+	return s.rels[label]
+}
+
+// Count returns |R_label|.
+func (s *Store) Count(label string) int { return len(s.Items(label)) }
+
+// Inputs assembles σ-filtered per-node inputs for a pattern from the
+// canonical relations.
+func (s *Store) Inputs(p *pattern.Pattern) algebra.Inputs {
+	in := make(algebra.Inputs, p.Size())
+	for i, n := range p.Nodes {
+		in[i] = algebra.Filter(s.Items(n.Label), n, s.doc)
+	}
+	in[0] = algebra.FilterRootAnchor(p, in[0])
+	return in
+}
+
+// AddSubtree registers every node of a freshly inserted subtree in the
+// canonical relations, preserving document order.
+func (s *Store) AddSubtree(n *xmltree.Node) {
+	s.AddSubtrees([]*xmltree.Node{n})
+}
+
+// AddSubtrees registers many freshly inserted subtrees at once: new items
+// are grouped per label across ALL roots, sorted, and merged into each
+// touched relation exactly once — the batched path statement-level inserts
+// rely on (a statement can add thousands of subtrees).
+func (s *Store) AddSubtrees(roots []*xmltree.Node) {
+	if len(roots) == 0 {
+		return
+	}
+	byLabel := map[string][]algebra.Item{}
+	var elems []algebra.Item
+	for _, n := range roots {
+		xmltree.Walk(n, func(m *xmltree.Node) bool {
+			it := algebra.Item{ID: m.ID, Node: m}
+			byLabel[m.Label] = append(byLabel[m.Label], it)
+			if m.Kind == xmltree.Element {
+				elems = append(elems, it)
+			}
+			return true
+		})
+	}
+	for label, items := range byLabel {
+		sortItems(items)
+		s.rels[label] = mergeSorted(s.rels[label], items)
+	}
+	if len(elems) > 0 {
+		sortItems(elems)
+		s.elems = mergeSorted(s.elems, elems)
+	}
+}
+
+func sortItems(items []algebra.Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].ID.Compare(items[j].ID) < 0 })
+}
+
+// mergeSorted merges two document-ordered item lists.
+func mergeSorted(a, b []algebra.Item) []algebra.Item {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]algebra.Item, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].ID.Compare(b[j].ID) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// RemoveSubtree drops every node of a detached subtree from the canonical
+// relations, filtering each touched relation in one pass.
+func (s *Store) RemoveSubtree(n *xmltree.Node) {
+	s.RemoveSubtrees([]*xmltree.Node{n})
+}
+
+// RemoveSubtrees drops every node of many detached subtrees at once: gone
+// keys are collected across all roots first, so each touched relation is
+// filtered exactly once regardless of how many subtrees were deleted.
+func (s *Store) RemoveSubtrees(roots []*xmltree.Node) {
+	if len(roots) == 0 {
+		return
+	}
+	gone := map[string]map[string]bool{} // label -> ID keys
+	anyElem := false
+	for _, n := range roots {
+		xmltree.Walk(n, func(m *xmltree.Node) bool {
+			set := gone[m.Label]
+			if set == nil {
+				set = map[string]bool{}
+				gone[m.Label] = set
+			}
+			set[m.ID.Key()] = true
+			if m.Kind == xmltree.Element {
+				anyElem = true
+			}
+			return true
+		})
+	}
+	for label, set := range gone {
+		s.rels[label] = filterOut(s.rels[label], set)
+	}
+	if anyElem {
+		all := map[string]bool{}
+		for _, set := range gone {
+			for k := range set {
+				all[k] = true
+			}
+		}
+		s.elems = filterOut(s.elems, all)
+	}
+}
+
+func filterOut(items []algebra.Item, gone map[string]bool) []algebra.Item {
+	out := items[:0]
+	for _, it := range items {
+		if !gone[it.ID.Key()] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Labels returns all labels with a non-empty canonical relation.
+func (s *Store) Labels() []string {
+	out := make([]string, 0, len(s.rels))
+	for l, items := range s.rels {
+		if len(items) > 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

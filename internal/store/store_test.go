@@ -1,0 +1,226 @@
+package store
+
+import (
+	"testing"
+
+	"xivm/internal/algebra"
+	"xivm/internal/pattern"
+	"xivm/internal/xmltree"
+)
+
+const doc1 = `<a><c><b>1</b><b>2</b></c><f><c><b>3</b></c><b>4</b></f></a>`
+
+func mustDoc(t *testing.T, s string) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCanonicalRelations(t *testing.T) {
+	d := mustDoc(t, doc1)
+	s := New(d)
+	if got := s.Count("b"); got != 4 {
+		t.Fatalf("|R_b| = %d", got)
+	}
+	if got := s.Count("c"); got != 2 {
+		t.Fatalf("|R_c| = %d", got)
+	}
+	if got := len(s.Items("*")); got != 8 {
+		t.Fatalf("elements = %d", got)
+	}
+	items := s.Items("b")
+	for i := 1; i < len(items); i++ {
+		if items[i-1].ID.Compare(items[i].ID) >= 0 {
+			t.Fatal("R_b not in document order")
+		}
+	}
+}
+
+func TestAddRemoveSubtree(t *testing.T) {
+	d := mustDoc(t, doc1)
+	s := New(d)
+	forest, err := xmltree.ParseForest(`<c><b/><b/></c>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := d.Root.ElementChildren()[0] // first c
+	cp, err := d.ApplyInsert(target, forest[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddSubtree(cp)
+	if s.Count("b") != 6 || s.Count("c") != 3 {
+		t.Fatalf("after insert: b=%d c=%d", s.Count("b"), s.Count("c"))
+	}
+	items := s.Items("b")
+	for i := 1; i < len(items); i++ {
+		if items[i-1].ID.Compare(items[i].ID) >= 0 {
+			t.Fatal("R_b lost order after insert")
+		}
+	}
+	removed, err := d.ApplyDelete(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveSubtree(removed)
+	if s.Count("b") != 4 || s.Count("c") != 2 {
+		t.Fatalf("after delete: b=%d c=%d", s.Count("b"), s.Count("c"))
+	}
+}
+
+func TestInputsApplySigma(t *testing.T) {
+	d := mustDoc(t, `<r><a>5</a><a>3</a></r>`)
+	s := New(d)
+	p := pattern.MustParse(`//a{ID}[val="5"]`)
+	in := s.Inputs(p)
+	if len(in[0]) != 1 {
+		t.Fatalf("σ(R_a) = %d items", len(in[0]))
+	}
+}
+
+func TestLabels(t *testing.T) {
+	d := mustDoc(t, doc1)
+	s := New(d)
+	labels := s.Labels()
+	want := map[string]bool{"a": true, "b": true, "c": true, "f": true, "#text": true}
+	if len(labels) != len(want) {
+		t.Fatalf("labels = %v", labels)
+	}
+	for _, l := range labels {
+		if !want[l] {
+			t.Fatalf("unexpected label %q", l)
+		}
+	}
+}
+
+func TestViewUpsertDecrement(t *testing.T) {
+	p := pattern.MustParse(`//a{ID}[//b]`)
+	d := mustDoc(t, `<a><b/><c><b/></c></a>`)
+	rows := algebra.Materialize(d, p)
+	v := NewMaterializedView(p, rows)
+	if v.Len() != 1 {
+		t.Fatalf("len %d", v.Len())
+	}
+	r := v.Rows()[0]
+	if r.Count != 2 {
+		t.Fatalf("count %d", r.Count)
+	}
+	key := r.Key()
+	if existed, removed := v.DecrementBy(key, 1); !existed || removed {
+		t.Fatal("first decrement should keep the row")
+	}
+	if existed, removed := v.DecrementBy(key, 1); !existed || !removed {
+		t.Fatal("second decrement should remove the row")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("len %d after removal", v.Len())
+	}
+	// Re-adding after tombstone works.
+	if !v.Upsert(r) {
+		t.Fatal("upsert after tombstone should be new")
+	}
+	if got, ok := v.Get(key); !ok || got.Count != 2 {
+		t.Fatalf("Get after re-add: %v %v", got, ok)
+	}
+}
+
+func TestViewRemoveReplaceCompact(t *testing.T) {
+	p := pattern.MustParse(`//a{ID,val}`)
+	d := mustDoc(t, `<r><a>x</a><a>y</a></r>`)
+	v := NewMaterializedView(p, algebra.Materialize(d, p))
+	rows := v.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if !v.Replace(rows[0].Key(), func(r *algebra.Row) { r.Entries[0].Val = "z" }) {
+		t.Fatal("replace failed")
+	}
+	if got, _ := v.Get(rows[0].Key()); got.Entries[0].Val != "z" {
+		t.Fatal("replace not visible")
+	}
+	if !v.Remove(rows[1].Key()) {
+		t.Fatal("remove failed")
+	}
+	v.Compact()
+	if v.Len() != 1 || len(v.Rows()) != 1 {
+		t.Fatalf("after compact: %d", v.Len())
+	}
+}
+
+func TestRowsBindingUnder(t *testing.T) {
+	p := pattern.MustParse(`//a{ID}//b{ID}`)
+	d := mustDoc(t, doc1)
+	v := NewMaterializedView(p, algebra.Materialize(d, p))
+	if v.Len() != 4 {
+		t.Fatalf("len %d", v.Len())
+	}
+	// Deleting subtree rooted at first c kills rows binding b under it.
+	c := d.Root.ElementChildren()[0]
+	keys := v.RowsBindingUnder(1, c.ID)
+	if len(keys) != 2 {
+		t.Fatalf("keys = %d", len(keys))
+	}
+}
+
+func TestMatFillAddRemove(t *testing.T) {
+	p := pattern.MustParse(`//a{ID}[//b{ID}//c{ID}]//d{ID}`)
+	d := mustDoc(t, `<a><b><c/></b><d/></a>`)
+	s := New(d)
+	mask := uint64(1 | 1<<1) // {a,b}
+	m := NewMat(p, mask)
+	b := algebra.EvalSubPattern(p, mask, s.Inputs(p), nil)
+	m.FillFromBlock(b)
+	if m.Len() != 1 {
+		t.Fatalf("mat len %d", m.Len())
+	}
+	blk := m.Block()
+	if len(blk.Cols) != 2 || blk.Cols[0] != 0 || blk.Cols[1] != 1 {
+		t.Fatalf("cols %v", blk.Cols)
+	}
+	// Add a tuple again: accumulates count, not size.
+	m.AddBlock(b)
+	if m.Len() != 1 {
+		t.Fatalf("after re-add len %d", m.Len())
+	}
+	// Remove under the b node.
+	bNode := d.Root.ElementChildren()[0]
+	if got := m.RemoveUnder(1, bNode.ID); got != 1 {
+		t.Fatalf("removed %d", got)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("len %d", m.Len())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := pattern.MustParse(`//a{ID}//b{ID,val,cont}`)
+	d := mustDoc(t, doc1)
+	v := NewMaterializedView(p, algebra.Materialize(d, p))
+	data := EncodeSnapshot(v)
+	rows, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := NewMaterializedView(p, rows)
+	if !v2.EqualRows(v.Rows()) {
+		t.Fatal("snapshot round trip lost rows")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := DecodeSnapshot([]byte("bogus")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	p := pattern.MustParse(`//a{ID}`)
+	d := mustDoc(t, `<a/>`)
+	v := NewMaterializedView(p, algebra.Materialize(d, p))
+	data := EncodeSnapshot(v)
+	for cut := len(snapshotMagic); cut < len(data); cut++ {
+		if _, err := DecodeSnapshot(data[:cut]); err == nil {
+			t.Fatalf("truncated snapshot at %d decoded", cut)
+		}
+	}
+}

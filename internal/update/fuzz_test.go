@@ -1,0 +1,30 @@
+package update
+
+import "testing"
+
+// FuzzParse hardens the update-statement parser against arbitrary input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"delete //a/b",
+		"insert <a><b/></a> into /site",
+		"insert //a into //b",
+		"for $x in //p insert <q/> into $x",
+		"replace //name with <name>x</name>",
+		`let $c := doc("a") delete $c//b`,
+		"insert <a> into //b", "for $x in", "replace //a",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if st.Kind != Insert && st.Kind != Delete && st.Kind != Replace {
+			t.Fatalf("parsed statement with invalid kind %v", st.Kind)
+		}
+		if len(st.Target.Steps) == 0 {
+			t.Fatalf("parsed statement with empty target from %q", src)
+		}
+	})
+}

@@ -1,0 +1,23 @@
+package view_test
+
+import (
+	"fmt"
+	"log"
+
+	"xivm/internal/view"
+)
+
+// ExampleCompile translates the paper's Figure 3 query into its tree
+// pattern.
+func ExampleCompile() {
+	def, err := view.Compile(`for $p in doc("confs")//confs//paper, $a in $p/affiliation
+return <result><pid>{id($p)}</pid><aid>{id($a)}</aid><acont>{$a}</acont></result>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(def.Pattern)
+	fmt.Println("$p ->", def.VarNode["p"], " $a ->", def.VarNode["a"])
+	// Output:
+	// //confs//paper{ID}/affiliation{ID,cont}
+	// $p -> 1  $a -> 2
+}

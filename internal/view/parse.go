@@ -1,0 +1,421 @@
+package view
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"xivm/internal/xpath"
+)
+
+// ParseQuery parses a view definition in the dialect of the paper's
+// Figure 3. Both the element-constructor return form and a lenient
+// comma-separated return form (as in the XMark queries) are accepted.
+func ParseQuery(src string) (*Query, error) {
+	p := &qparser{src: src}
+	q := &Query{Source: src}
+
+	// Optional let clause binding a document (absolute variable).
+	if p.eatKeyword("let") {
+		v, err := p.parseBinding(true)
+		if err != nil {
+			return nil, err
+		}
+		q.Vars = append(q.Vars, v)
+		if !p.eatKeyword("return") {
+			return nil, p.errf("expected 'return' after let clause")
+		}
+	}
+
+	if !p.eatKeyword("for") {
+		return nil, p.errf("expected 'for'")
+	}
+	for {
+		v, err := p.parseBinding(len(q.Vars) == 0)
+		if err != nil {
+			return nil, err
+		}
+		q.Vars = append(q.Vars, v)
+		if !p.eat(",") {
+			break
+		}
+	}
+
+	if p.eatKeyword("where") {
+		for {
+			pr, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, pr)
+			if !p.eatKeyword("and") {
+				break
+			}
+		}
+	}
+
+	if !p.eatKeyword("return") {
+		return nil, p.errf("expected 'return'")
+	}
+	if err := p.parseReturn(q); err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	rest := p.src[p.pos:]
+	if len(rest) > 40 {
+		rest = rest[:40] + "…"
+	}
+	return fmt.Errorf("view: %s at %q", fmt.Sprintf(format, args...), rest)
+}
+
+func (p *qparser) skip() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *qparser) eat(tok string) bool {
+	p.skip()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *qparser) eatKeyword(kw string) bool {
+	p.skip()
+	if !strings.HasPrefix(p.src[p.pos:], kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	if after < len(p.src) && isWordByte(p.src[after]) {
+		return false
+	}
+	p.pos = after
+	return true
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *qparser) parseVarName() (string, error) {
+	p.skip()
+	if !p.eat("$") {
+		return "", p.errf("expected variable")
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isWordByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("empty variable name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseBinding parses `$x in source` or `$x := source`, where source is
+// doc("uri")path? (absolute) or $base path (relative).
+func (p *qparser) parseBinding(allowAbsolute bool) (Var, error) {
+	var v Var
+	name, err := p.parseVarName()
+	if err != nil {
+		return v, err
+	}
+	v.Name = name
+	if !p.eatKeyword("in") && !p.eat(":=") {
+		return v, p.errf("expected 'in' or ':=' after $%s", name)
+	}
+	p.skip()
+	if strings.HasPrefix(p.src[p.pos:], "doc(") {
+		if !allowAbsolute {
+			return v, p.errf("only the first variable may be absolute")
+		}
+		p.pos += len("doc(")
+		uri, err := p.parseStringLit()
+		if err != nil {
+			return v, err
+		}
+		if !p.eat(")") {
+			return v, p.errf("expected ) after doc uri")
+		}
+		v.URI = uri
+	} else {
+		base, err := p.parseVarName()
+		if err != nil {
+			return v, p.errf("expected doc(...) or $var in binding")
+		}
+		v.Base = base
+	}
+	// Optional path.
+	path, err := p.parsePathText()
+	if err != nil {
+		return v, err
+	}
+	v.Path = path
+	if v.Base == "" && v.URI != "" && len(v.Path.Steps) == 0 {
+		// let $d := doc("uri") with no path: the variable denotes the
+		// document; later relative paths root the pattern.
+		return v, nil
+	}
+	return v, nil
+}
+
+// parsePathText scans the longest balanced path expression starting at /
+// or //, then parses it with the xpath parser.
+func (p *qparser) parsePathText() (xpath.Path, error) {
+	p.skip()
+	if p.pos >= len(p.src) || p.src[p.pos] != '/' {
+		return xpath.Path{}, nil
+	}
+	start := p.pos
+	depth := 0  // bracket nesting
+	parens := 0 // parenthesis nesting, for text()
+	var quote byte
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			p.pos++
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			quote = c
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '(':
+			parens++
+		case ')':
+			if depth == 0 && parens == 0 {
+				return xpath.Parse(p.src[start:p.pos])
+			}
+			parens--
+		case ',', ' ', '\t', '\n', '}', '<', '=':
+			if depth == 0 {
+				return xpath.Parse(p.src[start:p.pos])
+			}
+		}
+		p.pos++
+	}
+	return xpath.Parse(p.src[start:p.pos])
+}
+
+func (p *qparser) parseStringLit() (string, error) {
+	p.skip()
+	if p.pos >= len(p.src) {
+		return "", p.errf("expected string literal")
+	}
+	q := p.src[p.pos]
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected string literal")
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", p.errf("unterminated string literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// parsePred parses one where-clause conjunct.
+func (p *qparser) parsePred() (Pred, error) {
+	p.skip()
+	var pr Pred
+	wrapped := false
+	if p.eatKeyword("string") {
+		if !p.eat("(") {
+			return pr, p.errf("expected ( after string")
+		}
+		wrapped = true
+	}
+	name, err := p.parseVarName()
+	if err != nil {
+		return pr, err
+	}
+	pr.Var = name
+	path, err := p.parsePathText()
+	if err != nil {
+		return pr, err
+	}
+	pr.Path = stripTrailingText(path)
+	if wrapped && !p.eat(")") {
+		return pr, p.errf("expected ) closing string(...)")
+	}
+	if !p.eat("=") {
+		if wrapped {
+			return pr, p.errf("expected = after string(...)")
+		}
+		pr.Exists = true
+		return pr, nil
+	}
+	lit, err := p.parseStringLit()
+	if err != nil {
+		return pr, err
+	}
+	pr.Value = lit
+	return pr, nil
+}
+
+func stripTrailingText(p xpath.Path) xpath.Path {
+	if n := len(p.Steps); n > 0 && p.Steps[n-1].Kind == xpath.TestText {
+		p.Steps = p.Steps[:n-1]
+	}
+	return p
+}
+
+// parseReturn parses either an element constructor or a comma-separated
+// expression list.
+func (p *qparser) parseReturn(q *Query) error {
+	p.skip()
+	if p.pos < len(p.src) && p.src[p.pos] == '<' {
+		return p.parseConstructor(q)
+	}
+	q.RetRoot = "result"
+	for i := 0; ; i++ {
+		e, err := p.parseRetExpr(fmt.Sprintf("item%d", i))
+		if err != nil {
+			return err
+		}
+		q.Elems = append(q.Elems, e)
+		if !p.eat(",") {
+			return nil
+		}
+	}
+}
+
+func (p *qparser) parseConstructor(q *Query) error {
+	label, err := p.parseOpenTag()
+	if err != nil {
+		return err
+	}
+	q.RetRoot = label
+	for {
+		p.skip()
+		if strings.HasPrefix(p.src[p.pos:], "</") {
+			return p.parseCloseTag(label)
+		}
+		inner, err := p.parseOpenTag()
+		if err != nil {
+			return err
+		}
+		p.skip()
+		if !p.eat("{") {
+			return p.errf("expected { inside <%s>", inner)
+		}
+		e, err := p.parseRetExpr(inner)
+		if err != nil {
+			return err
+		}
+		if !p.eat("}") {
+			return p.errf("expected } inside <%s>", inner)
+		}
+		if err := p.parseCloseTag(inner); err != nil {
+			return err
+		}
+		q.Elems = append(q.Elems, e)
+	}
+}
+
+func (p *qparser) parseOpenTag() (string, error) {
+	p.skip()
+	if !p.eat("<") {
+		return "", p.errf("expected <tag>")
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isWordByte(p.src[p.pos]) {
+		p.pos++
+	}
+	label := p.src[start:p.pos]
+	if label == "" || !p.eat(">") {
+		return "", p.errf("malformed open tag")
+	}
+	return label, nil
+}
+
+func (p *qparser) parseCloseTag(label string) error {
+	p.skip()
+	if !p.eat("</" + label + ">") {
+		return p.errf("expected </%s>", label)
+	}
+	return nil
+}
+
+// parseRetExpr parses $x, $x/p, string($x), string($x/p), id($x).
+func (p *qparser) parseRetExpr(label string) (RetElem, error) {
+	p.skip()
+	e := RetElem{Label: label, Kind: RetContent}
+	switch {
+	case p.eatKeyword("string"):
+		if !p.eat("(") {
+			return e, p.errf("expected ( after string")
+		}
+		name, err := p.parseVarName()
+		if err != nil {
+			return e, err
+		}
+		path, err := p.parsePathText()
+		if err != nil {
+			return e, err
+		}
+		if !p.eat(")") {
+			return e, p.errf("expected ) after string(...)")
+		}
+		e.Var, e.Path, e.Kind = name, stripTrailingText(path), RetString
+	case p.eatKeyword("id"):
+		if !p.eat("(") {
+			return e, p.errf("expected ( after id")
+		}
+		name, err := p.parseVarName()
+		if err != nil {
+			return e, err
+		}
+		path, err := p.parsePathText()
+		if err != nil {
+			return e, err
+		}
+		if !p.eat(")") {
+			return e, p.errf("expected ) after id(...)")
+		}
+		e.Var, e.Path, e.Kind = name, stripTrailingText(path), RetID
+	default:
+		name, err := p.parseVarName()
+		if err != nil {
+			return e, err
+		}
+		path, err := p.parsePathText()
+		if err != nil {
+			return e, err
+		}
+		e.Var = name
+		if n := len(path.Steps); n > 0 && path.Steps[n-1].Kind == xpath.TestText {
+			e.Kind = RetString
+			path = stripTrailingText(path)
+		}
+		e.Path = path
+	}
+	return e, nil
+}

@@ -1,0 +1,250 @@
+// Package view implements the paper's view definition language (Figure 3):
+// a conjunctive XQuery dialect with let/for/where/return clauses, absolute
+// and relative variable bindings over XPath{/,//,*,[]}, value predicates of
+// the form string($x) = c, and return clauses exposing any subset of
+// {content, string value, structural ID} per variable. Queries translate to
+// the tree pattern dialect P.
+package view
+
+import (
+	"fmt"
+
+	"xivm/internal/pattern"
+	"xivm/internal/xpath"
+)
+
+// RetKind selects what a return element exposes for its variable.
+type RetKind uint8
+
+const (
+	// RetContent exposes the full subtree ($x).
+	RetContent RetKind = iota
+	// RetString exposes string($x).
+	RetString
+	// RetID exposes id($x).
+	RetID
+)
+
+// Var is one variable binding of the for (or let) clause.
+type Var struct {
+	Name string     // without the $
+	Base string     // name of the variable it is relative to; "" = absolute
+	URI  string     // document URI for absolute variables
+	Path xpath.Path // steps from the base
+}
+
+// Pred is a where-clause conjunct: either an existence test on a path from
+// a variable, or a comparison of the path's string value with a constant.
+type Pred struct {
+	Var    string
+	Path   xpath.Path // optional extra steps below the variable
+	Exists bool       // true: pure existence test, Value ignored
+	Value  string
+}
+
+// RetElem is one element of the return clause.
+type RetElem struct {
+	Label string
+	Var   string
+	Path  xpath.Path // optional extra steps below the variable
+	Kind  RetKind
+}
+
+// Query is a parsed view definition.
+type Query struct {
+	Vars    []Var
+	Preds   []Pred
+	RetRoot string // label of the constructed result element
+	Elems   []RetElem
+	Source  string // original text
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.Source }
+
+// Definition couples a parsed query with its tree pattern translation.
+type Definition struct {
+	Query   *Query
+	Pattern *pattern.Pattern
+	// VarNode maps variable names to the pattern node index they bind.
+	VarNode map[string]int
+}
+
+// Compile parses a view definition and translates it to a tree pattern.
+func Compile(src string) (*Definition, error) {
+	q, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(q)
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(src string) *Definition {
+	d, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Translate converts a parsed query into a tree pattern following the
+// algebra-based identification of tree patterns in queries (Arion et al.),
+// restricted to our conjunctive dialect.
+func Translate(q *Query) (*Definition, error) {
+	t := &translator{varNode: map[string]*pattern.Node{}, docVars: map[string]bool{}}
+	for i, v := range q.Vars {
+		var base *pattern.Node
+		if v.Base == "" {
+			if i != 0 {
+				return nil, fmt.Errorf("view: only the first variable may be absolute ($%s)", v.Name)
+			}
+			if len(v.Path.Steps) == 0 {
+				// A document variable (let $d := doc("uri")): it denotes
+				// the document itself; paths from it root the pattern.
+				t.varNode[v.Name] = nil
+				t.docVars[v.Name] = true
+				continue
+			}
+		} else {
+			b, ok := t.varNode[v.Base]
+			if !ok {
+				return nil, fmt.Errorf("view: $%s refers to undeclared $%s", v.Name, v.Base)
+			}
+			base = b
+			if base == nil && t.root != nil {
+				return nil, fmt.Errorf("view: a second variable cannot re-root the pattern from $%s", v.Base)
+			}
+		}
+		end, err := t.addPath(base, v.Path)
+		if err != nil {
+			return nil, err
+		}
+		if end == nil {
+			return nil, fmt.Errorf("view: variable $%s binds an empty path", v.Name)
+		}
+		t.varNode[v.Name] = end
+	}
+	for _, pr := range q.Preds {
+		base, ok := t.varNode[pr.Var]
+		if !ok || t.docVars[pr.Var] {
+			return nil, fmt.Errorf("view: where clause uses unusable variable $%s", pr.Var)
+		}
+		end, err := t.addPath(base, pr.Path)
+		if err != nil {
+			return nil, err
+		}
+		if pr.Exists {
+			continue
+		}
+		if end.HasPred && end.PredVal != pr.Value {
+			return nil, fmt.Errorf("view: conflicting predicates on $%s", pr.Var)
+		}
+		end.HasPred = true
+		end.PredVal = pr.Value
+	}
+	for _, e := range q.Elems {
+		base, ok := t.varNode[e.Var]
+		if !ok || t.docVars[e.Var] {
+			return nil, fmt.Errorf("view: return clause uses unusable variable $%s", e.Var)
+		}
+		end, err := t.addPath(base, e.Path)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Kind {
+		case RetContent:
+			end.Store |= pattern.StoreCont | pattern.StoreID
+		case RetString:
+			end.Store |= pattern.StoreVal | pattern.StoreID
+		case RetID:
+			end.Store |= pattern.StoreID
+		}
+	}
+	if t.root == nil {
+		return nil, fmt.Errorf("view: query produced no pattern")
+	}
+	p, err := pattern.New(t.root)
+	if err != nil {
+		return nil, err
+	}
+	vn := make(map[string]int, len(t.varNode))
+	for name, n := range t.varNode {
+		if n != nil {
+			vn[name] = n.Index
+		}
+	}
+	return &Definition{Query: q, Pattern: p, VarNode: vn}, nil
+}
+
+type translator struct {
+	root    *pattern.Node
+	varNode map[string]*pattern.Node
+	docVars map[string]bool
+}
+
+// addPath extends the pattern from base along the path's spine, attaching
+// step predicates as branches, and returns the last spine node. A nil base
+// roots the pattern. An empty path returns base.
+func (t *translator) addPath(base *pattern.Node, p xpath.Path) (*pattern.Node, error) {
+	cur := base
+	for i, st := range p.Steps {
+		n := &pattern.Node{Desc: st.Axis == xpath.Descendant}
+		switch st.Kind {
+		case xpath.TestName:
+			n.Label = st.Name
+		case xpath.TestWildcard:
+			n.Label = "*"
+		case xpath.TestAttr:
+			n.Label = "@" + st.Name
+		case xpath.TestText:
+			// The parser strips trailing text() steps (they denote the
+			// string value of the preceding node), so none should remain.
+			return nil, fmt.Errorf("view: unexpected text() step at position %d", i)
+		}
+		if cur == nil {
+			t.root = n
+		} else {
+			cur.Children = append(cur.Children, n)
+		}
+		for _, pred := range st.Preds {
+			if err := t.addPredicate(n, pred); err != nil {
+				return nil, err
+			}
+		}
+		cur = n
+	}
+	return cur, nil
+}
+
+// addPredicate attaches an XPath predicate to a pattern node as branches.
+// Only conjunctive predicates are expressible in P: or is rejected.
+func (t *translator) addPredicate(n *pattern.Node, e xpath.Expr) error {
+	switch x := e.(type) {
+	case xpath.AndExpr:
+		if err := t.addPredicate(n, x.Left); err != nil {
+			return err
+		}
+		return t.addPredicate(n, x.Right)
+	case xpath.OrExpr:
+		return fmt.Errorf("view: disjunctive predicates are outside the conjunctive view dialect")
+	case xpath.ExistsExpr:
+		_, err := t.addPath(n, x.Path)
+		return err
+	case xpath.EqExpr:
+		end, err := t.addPath(n, x.Path)
+		if err != nil {
+			return err
+		}
+		if end == n {
+			return fmt.Errorf("view: empty comparison path in predicate")
+		}
+		if end.HasPred && end.PredVal != x.Lit {
+			return fmt.Errorf("view: conflicting predicates")
+		}
+		end.HasPred = true
+		end.PredVal = x.Lit
+		return nil
+	}
+	return fmt.Errorf("view: unsupported predicate %T", e)
+}

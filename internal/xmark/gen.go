@@ -1,0 +1,243 @@
+// Package xmark provides a deterministic XMark-style benchmark data
+// generator, the XMark views used by the paper (Q1, Q2, Q3, Q4, Q6, Q13,
+// Q17), and the XPathMark-derived update set of Appendix A (classes L, LB,
+// A, O, AO), in both insertion and deletion variants. The generator emits
+// the schema subset those views and updates touch — site/people/person,
+// site/regions/*/item, site/open_auctions/open_auction — with fanouts and
+// value distributions that make selectivities scale with document size.
+package xmark
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a small deterministic xorshift generator so documents are
+// reproducible across runs and platforms.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(words []string) string { return words[r.intn(len(words))] }
+
+var (
+	firstNames = []string{"Ann", "Bob", "Carla", "Dinesh", "Elena", "Farid", "Grace", "Hugo", "Ines", "Jo"}
+	lastNames  = []string{"Smith", "Garcia", "Chen", "Okafor", "Rossi", "Novak", "Dubois", "Kim", "Silva", "Mori"}
+	cities     = []string{"Lille", "Glasgow", "Paris", "Potenza", "Saclay", "Rome", "Lyon", "Leuven"}
+	countries  = []string{"France", "United Kingdom", "Italy", "Belgium", "Germany"}
+	words      = []string{"gold", "vintage", "rare", "mint", "boxed", "signed", "classic", "limited", "original", "restored"}
+	itemNouns  = []string{"clock", "violin", "atlas", "camera", "lamp", "radio", "stamp", "chair", "globe", "compass"}
+	regions    = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+	increases  = []string{"1.50", "3.00", "4.50", "6.00", "7.50", "9.00", "12.00", "15.00"}
+)
+
+// Config controls generation.
+type Config struct {
+	// TargetBytes is the approximate serialized size to produce.
+	TargetBytes int
+	// Seed makes distinct deterministic documents.
+	Seed uint64
+}
+
+// Generate produces an XMark-style document of roughly cfg.TargetBytes
+// serialized bytes.
+func Generate(cfg Config) string {
+	if cfg.TargetBytes <= 0 {
+		cfg.TargetBytes = 100 << 10
+	}
+	r := newRng(cfg.Seed)
+	var b strings.Builder
+	b.Grow(cfg.TargetBytes + 4096)
+	b.WriteString("<site>")
+
+	// Budget shares mirror XMark's relative region sizes: people, regions
+	// and open auctions carry most of the document, with smaller categories,
+	// category graph and closed-auction sections. Each writer appends whole
+	// entities until its share is spent.
+	personShare := cfg.TargetBytes * 32 / 100
+	regionShare := cfg.TargetBytes * 32 / 100
+	auctionShare := cfg.TargetBytes * 24 / 100
+	closedShare := cfg.TargetBytes * 8 / 100
+	categoryShare := cfg.TargetBytes - personShare - regionShare - auctionShare - closedShare
+
+	nCategories := maxInt(categoryShare/120, 4)
+	b.WriteString("<categories>")
+	for i := 0; i < nCategories; i++ {
+		writeCategory(&b, r, i)
+	}
+	b.WriteString("</categories>")
+	b.WriteString("<catgraph>")
+	for i := 0; i < nCategories; i++ {
+		fmt.Fprintf(&b, `<edge from="category%d" to="category%d"/>`, i, r.intn(nCategories))
+	}
+	b.WriteString("</catgraph>")
+
+	b.WriteString("<people>")
+	peopleStart := b.Len()
+	nPersons := 0
+	for b.Len()-peopleStart < personShare {
+		writePerson(&b, r, nPersons)
+		nPersons++
+	}
+	b.WriteString("</people>")
+
+	b.WriteString("<regions>")
+	regionStart := b.Len()
+	nItems := 0
+	for ri, reg := range regions {
+		b.WriteString("<" + reg + ">")
+		// Keep region sizes uneven, as in XMark (namerica largest).
+		share := regionShare / len(regions)
+		if reg == "namerica" {
+			share = share * 2
+		}
+		base := b.Len()
+		for b.Len()-base < share {
+			writeItem(&b, r, nItems)
+			nItems++
+		}
+		b.WriteString("</" + reg + ">")
+		_ = ri
+	}
+	_ = regionStart
+	b.WriteString("</regions>")
+
+	b.WriteString("<open_auctions>")
+	nAuctions := 0
+	auctionStart := b.Len()
+	for b.Len()-auctionStart < auctionShare {
+		writeAuction(&b, r, nAuctions, nPersons, nItems)
+		nAuctions++
+	}
+	b.WriteString("</open_auctions>")
+
+	b.WriteString("<closed_auctions>")
+	closedStart := b.Len()
+	nClosed := 0
+	for b.Len()-closedStart < closedShare {
+		writeClosedAuction(&b, r, nPersons, nItems)
+		nClosed++
+	}
+	b.WriteString("</closed_auctions>")
+
+	b.WriteString("</site>")
+	return b.String()
+}
+
+func writeCategory(b *strings.Builder, r *rng, id int) {
+	fmt.Fprintf(b, `<category id="category%d">`, id)
+	fmt.Fprintf(b, "<name>%s %s</name>", r.pick(words), r.pick(itemNouns))
+	fmt.Fprintf(b, "<description><text>%s %s collectibles</text></description>", r.pick(words), r.pick(words))
+	b.WriteString("</category>")
+}
+
+func writeClosedAuction(b *strings.Builder, r *rng, nPersons, nItems int) {
+	b.WriteString("<closed_auction>")
+	fmt.Fprintf(b, `<seller person="person%d"/>`, r.intn(maxInt(nPersons, 1)))
+	fmt.Fprintf(b, `<buyer person="person%d"/>`, r.intn(maxInt(nPersons, 1)))
+	fmt.Fprintf(b, `<itemref item="item%d"/>`, r.intn(maxInt(nItems, 1)))
+	fmt.Fprintf(b, "<price>%d.00</price>", 20+r.intn(800))
+	fmt.Fprintf(b, "<date>1%d/0%d/2010</date>", r.intn(2), 1+r.intn(9))
+	fmt.Fprintf(b, "<quantity>%d</quantity>", 1+r.intn(3))
+	fmt.Fprintf(b, "<type>%s</type>", []string{"Regular", "Featured"}[r.intn(2)])
+	if r.intn(3) == 0 {
+		fmt.Fprintf(b, `<annotation><author person="person%d"/><description><text>%s deal, %s condition</text></description><happiness>%d</happiness></annotation>`,
+			r.intn(maxInt(nPersons, 1)), r.pick(words), r.pick(words), 1+r.intn(10))
+	}
+	b.WriteString("</closed_auction>")
+}
+
+func writePerson(b *strings.Builder, r *rng, id int) {
+	fmt.Fprintf(b, `<person id="person%d">`, id)
+	fmt.Fprintf(b, "<name>%s %s</name>", r.pick(firstNames), r.pick(lastNames))
+	fmt.Fprintf(b, "<emailaddress>mailto:p%d@example.net</emailaddress>", id)
+	if r.intn(3) != 0 {
+		fmt.Fprintf(b, "<phone>+33 %d %d</phone>", 100+r.intn(900), 100000+r.intn(900000))
+	}
+	if r.intn(2) == 0 {
+		fmt.Fprintf(b, "<address><street>%d %s St</street><city>%s</city><country>%s</country><zipcode>%d</zipcode></address>",
+			1+r.intn(99), r.pick(lastNames), r.pick(cities), r.pick(countries), 10000+r.intn(89999))
+	}
+	if r.intn(3) == 0 {
+		fmt.Fprintf(b, "<homepage>http://example.net/~p%d</homepage>", id)
+	}
+	if r.intn(4) == 0 {
+		fmt.Fprintf(b, "<creditcard>%d %d %d %d</creditcard>", 1000+r.intn(9000), 1000+r.intn(9000), 1000+r.intn(9000), 1000+r.intn(9000))
+	}
+	if r.intn(2) == 0 {
+		fmt.Fprintf(b, `<profile income="%d">`, 20000+r.intn(80000))
+		fmt.Fprintf(b, `<interest category="category%d"/>`, r.intn(20))
+		if r.intn(2) == 0 {
+			fmt.Fprintf(b, "<age>%d</age>", 18+r.intn(60))
+		}
+		fmt.Fprintf(b, "<education>%s</education>", []string{"High School", "College", "Graduate School"}[r.intn(3)])
+		b.WriteString("</profile>")
+	}
+	b.WriteString("</person>")
+}
+
+func writeItem(b *strings.Builder, r *rng, id int) {
+	fmt.Fprintf(b, `<item id="item%d">`, id)
+	fmt.Fprintf(b, "<location>%s</location>", r.pick(countries))
+	fmt.Fprintf(b, "<quantity>%d</quantity>", 1+r.intn(5))
+	fmt.Fprintf(b, "<name>%s %s</name>", r.pick(words), r.pick(itemNouns))
+	b.WriteString("<payment>Creditcard, Personal Check, Cash</payment>")
+	if r.intn(4) != 0 {
+		fmt.Fprintf(b, "<description><text>%s %s %s with %s finish</text></description>",
+			r.pick(words), r.pick(words), r.pick(itemNouns), r.pick(words))
+	}
+	if r.intn(3) == 0 {
+		fmt.Fprintf(b, "<mailbox><mail><from>%s</from><to>%s</to><date>0%d/2%d/2010</date></mail></mailbox>",
+			r.pick(firstNames), r.pick(firstNames), 1+r.intn(9), r.intn(9))
+	}
+	b.WriteString("</item>")
+}
+
+func writeAuction(b *strings.Builder, r *rng, id, nPersons, nItems int) {
+	fmt.Fprintf(b, `<open_auction id="open_auction%d">`, id)
+	fmt.Fprintf(b, "<initial>%d.00</initial>", 5+r.intn(200))
+	if r.intn(2) == 0 {
+		fmt.Fprintf(b, "<reserve>%d.00</reserve>", 50+r.intn(500))
+	}
+	nBidders := r.intn(4)
+	for i := 0; i < nBidders; i++ {
+		// person12 bids on ~10% of auctions once enough persons exist,
+		// giving the Q4 view the selectivity the paper relies on.
+		bidder := r.intn(maxInt(nPersons, 1))
+		if nPersons > 12 && r.intn(10) == 0 {
+			bidder = 12
+		}
+		fmt.Fprintf(b, "<bidder><date>0%d/1%d/2010</date><personref person=\"person%d\"/><increase>%s</increase></bidder>",
+			1+r.intn(9), r.intn(9), bidder, r.pick(increases))
+	}
+	fmt.Fprintf(b, "<current>%d.00</current>", 10+r.intn(900))
+	if r.intn(3) == 0 {
+		b.WriteString("<privacy>Yes</privacy>")
+	}
+	fmt.Fprintf(b, `<itemref item="item%d"/>`, r.intn(maxInt(nItems, 1)))
+	fmt.Fprintf(b, `<seller person="person%d"/>`, r.intn(maxInt(nPersons, 1)))
+	fmt.Fprintf(b, "<quantity>%d</quantity>", 1+r.intn(3))
+	fmt.Fprintf(b, "<type>%s</type>", []string{"Regular", "Featured", "Dutch"}[r.intn(3)])
+	b.WriteString("</open_auction>")
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package xmark
+
+import (
+	"fmt"
+
+	"xivm/internal/update"
+)
+
+// Class is the syntactic class of an update's target path (Appendix A).
+type Class string
+
+// The paper's five update classes.
+const (
+	ClassLinear Class = "L"  // linear path expression
+	ClassLinB   Class = "LB" // linear with boolean filter
+	ClassAnd    Class = "A"  // AND predicate
+	ClassOr     Class = "O"  // OR predicate
+	ClassAndOr  Class = "AO" // AND + OR predicate
+)
+
+// Payload selects the XML fragment an update inserts.
+type Payload uint8
+
+const (
+	// PayloadName is the 5-node name tree inserted under persons.
+	PayloadName Payload = iota
+	// PayloadIncrease is the 5-node increase tree inserted under bidders.
+	PayloadIncrease
+	// PayloadItem is the item tree inserted under items.
+	PayloadItem
+)
+
+func (p Payload) xml(name string) string {
+	switch p {
+	case PayloadName:
+		return `<name>Martin<name>and</name><name>some</name><name>test</name><name>nodes</name></name>`
+	case PayloadIncrease:
+		return `<increase>inserted 100.00<increase>and</increase><increase>some</increase><increase>test</increase><increase>nodes</increase></increase>`
+	default:
+		return fmt.Sprintf(`<item><location>Unknown</location><quantity>1</quantity><name>%s Item</name><payment>Creditcard, Personal Check, Cash</payment></item>`, name)
+	}
+}
+
+// Update is one Appendix A workload entry: a named target path with an
+// insertion payload; the deletion variant deletes the same targets.
+type Update struct {
+	Name    string
+	Class   Class
+	Path    string // the XPath selecting target nodes
+	Payload Payload
+}
+
+// InsertStatement renders the update's insertion form.
+func (u Update) InsertStatement() *update.Statement {
+	return update.MustParse(fmt.Sprintf("for $x in %s insert %s", u.Path, u.Payload.xml(u.Name)))
+}
+
+// DeleteStatement renders the update's deletion form (deleting the nodes
+// the path returns, as the paper derives deletes from the XPathMark
+// queries).
+func (u Update) DeleteStatement() *update.Statement {
+	return update.MustParse("delete " + u.Path)
+}
+
+// updates is the Appendix A test set.
+var updates = map[string]Update{
+	// Person-targeted (views Q1, Q17).
+	"X1_L":  {Name: "X1_L", Class: ClassLinear, Path: `/site/people/person`, Payload: PayloadName},
+	"A6_A":  {Name: "A6_A", Class: ClassAnd, Path: `/site/people/person[phone and homepage]`, Payload: PayloadName},
+	"A7_O":  {Name: "A7_O", Class: ClassOr, Path: `/site/people/person[phone or homepage]`, Payload: PayloadName},
+	"A8_AO": {Name: "A8_AO", Class: ClassAndOr, Path: `/site/people/person[address and (phone or homepage) and (creditcard or profile)]`, Payload: PayloadName},
+	"B7_LB": {Name: "B7_LB", Class: ClassLinB, Path: `//person[profile/@income]`, Payload: PayloadName},
+
+	// Auction-targeted (views Q2, Q3, Q4).
+	"X2_L":  {Name: "X2_L", Class: ClassLinear, Path: `/site/open_auctions/open_auction/bidder`, Payload: PayloadIncrease},
+	"X3_A":  {Name: "X3_A", Class: ClassAnd, Path: `/site/open_auctions/open_auction[privacy and bidder]/bidder`, Payload: PayloadIncrease},
+	"X4_O":  {Name: "X4_O", Class: ClassOr, Path: `/site/open_auctions/open_auction[bidder or privacy]/bidder`, Payload: PayloadIncrease},
+	"X5_AO": {Name: "X5_AO", Class: ClassAndOr, Path: `/site/open_auctions/open_auction[current and (bidder or reserve)]/bidder`, Payload: PayloadIncrease},
+	"B3_LB": {Name: "B3_LB", Class: ClassLinB, Path: `/site/open_auctions/open_auction[reserve]/bidder`, Payload: PayloadIncrease},
+
+	// Item-targeted (views Q6, Q13).
+	"B1_A":  {Name: "B1_A", Class: ClassAnd, Path: `/site/regions[namerica or samerica]//item`, Payload: PayloadItem},
+	"B1_O":  {Name: "B1_O", Class: ClassOr, Path: `/site/regions[namerica or samerica]//item`, Payload: PayloadItem},
+	"B5_LB": {Name: "B5_LB", Class: ClassLinB, Path: `/site/regions/*/item[name]`, Payload: PayloadItem},
+	"E6_L":  {Name: "E6_L", Class: ClassLinear, Path: `/site/regions/*/item`, Payload: PayloadItem},
+	"X7_O":  {Name: "X7_O", Class: ClassOr, Path: `//item[description or name]`, Payload: PayloadItem},
+	"X8_AO": {Name: "X8_AO", Class: ClassAndOr, Path: `//item[description and (name or mailbox)]`, Payload: PayloadItem},
+	"X16_A": {Name: "X16_A", Class: ClassAnd, Path: `//item[description][name]`, Payload: PayloadItem},
+	"X17_L": {Name: "X17_L", Class: ClassLinear, Path: `/site/regions//item`, Payload: PayloadItem},
+}
+
+// UpdateByName returns an Appendix A update; it panics on unknown names.
+func UpdateByName(name string) Update {
+	u, ok := updates[name]
+	if !ok {
+		panic("xmark: unknown update " + name)
+	}
+	return u
+}
+
+// ViewUpdates maps each benchmark view to its five update names, matching
+// the pairs of Figures 18–21.
+func ViewUpdates(viewName string) []string {
+	switch viewName {
+	case "Q1", "Q17":
+		return []string{"X1_L", "A6_A", "A7_O", "A8_AO", "B7_LB"}
+	case "Q2", "Q3", "Q4":
+		return []string{"X2_L", "X3_A", "X4_O", "X5_AO", "B3_LB"}
+	case "Q6":
+		return []string{"B1_A", "B5_LB", "E6_L", "X7_O", "X8_AO"}
+	case "Q13":
+		return []string{"B1_O", "B5_LB", "X16_A", "X17_L", "X8_AO"}
+	}
+	panic("xmark: unknown view " + viewName)
+}
+
+// DepthPaths is the Figure 22/23 series: the X1_L deletion target at
+// decreasing depths. The paper's series starts at /site; deleting the
+// document root is not representable in the store, so the series starts one
+// level lower (recorded in EXPERIMENTS.md).
+func DepthPaths() []string {
+	return []string{
+		"/site/people",
+		"/site/people/person",
+		"/site/people/person/name",
+	}
+}

@@ -1,0 +1,229 @@
+// Package xmltree implements the paper's document model: XML documents as
+// ordered labeled trees of element, attribute and text nodes, each carrying
+// a Compact Dynamic Dewey structural identifier. It provides parsing,
+// serialization, string-value and content extraction, and the side-effecting
+// subtree insertion/deletion primitives (apply-insert, apply-delete) that
+// the update machinery builds on.
+package xmltree
+
+import (
+	"strings"
+
+	"xivm/internal/dewey"
+)
+
+// Kind distinguishes the three node kinds of the model.
+type Kind uint8
+
+const (
+	// Element is an XML element node.
+	Element Kind = iota
+	// Attribute is an attribute node; its Label carries a leading '@'.
+	Attribute
+	// Text is a text node; Label is "#text".
+	Text
+)
+
+// TextLabel is the label carried by text nodes.
+const TextLabel = "#text"
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Attribute:
+		return "attribute"
+	case Text:
+		return "text"
+	}
+	return "invalid"
+}
+
+// Node is one node of an ordered labeled XML tree. Attribute nodes appear at
+// the front of their owner's Children, before any element or text children,
+// and carry labels of the form "@name" so that structural IDs encode them
+// uniformly.
+type Node struct {
+	Kind     Kind
+	Label    string // element label, "@name" for attributes, "#text" for text
+	Value    string // text content for Text and Attribute nodes
+	Parent   *Node
+	Children []*Node
+	ID       dewey.ID
+}
+
+// Document is a parsed XML document: a single root element plus an index
+// from ID keys to nodes so that ID-carrying view tuples can be resolved back
+// to live nodes (needed by the tuple-modification algorithms PIMT/PDMT).
+type Document struct {
+	Root  *Node
+	index map[string]*Node
+}
+
+// NewDocument wraps a root node built elsewhere, indexing its subtree.
+func NewDocument(root *Node) *Document {
+	d := &Document{Root: root, index: make(map[string]*Node)}
+	d.reindex(root)
+	return d
+}
+
+func (d *Document) reindex(n *Node) {
+	d.index[n.ID.Key()] = n
+	for _, c := range n.Children {
+		d.reindex(c)
+	}
+}
+
+func (d *Document) unindex(n *Node) {
+	delete(d.index, n.ID.Key())
+	for _, c := range n.Children {
+		d.unindex(c)
+	}
+}
+
+// NodeByID resolves a structural ID to the live node, or nil.
+func (d *Document) NodeByID(id dewey.ID) *Node {
+	return d.index[id.Key()]
+}
+
+// Size returns the number of nodes in the document.
+func (d *Document) Size() int { return len(d.index) }
+
+// Walk visits n and its descendants in document order, stopping early if f
+// returns false for a node (its subtree is then skipped).
+func Walk(n *Node, f func(*Node) bool) {
+	if !f(n) {
+		return
+	}
+	for _, c := range n.Children {
+		Walk(c, f)
+	}
+}
+
+// StringValue returns the node's string value: for text and attribute nodes
+// the literal value; for elements the concatenation of all text descendants
+// in document order, per the XPath data model.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case Text, Attribute:
+		return n.Value
+	}
+	var b strings.Builder
+	n.appendText(&b)
+	return b.String()
+}
+
+func (n *Node) appendText(b *strings.Builder) {
+	if n.Kind == Text {
+		b.WriteString(n.Value)
+		return
+	}
+	for _, c := range n.Children {
+		if c.Kind == Attribute {
+			continue
+		}
+		c.appendText(b)
+	}
+}
+
+// Content returns the serialized image of the subtree rooted at n — the
+// "cont" stored attribute of the paper's tree patterns.
+func (n *Node) Content() string {
+	var b strings.Builder
+	serializeNode(&b, n)
+	return b.String()
+}
+
+// ElementChildren returns the element children of n, skipping attributes
+// and text.
+func (n *Node) ElementChildren() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Element {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Attr returns the attribute child named name (without '@'), or nil.
+func (n *Node) Attr(name string) *Node {
+	want := "@" + name
+	for _, c := range n.Children {
+		if c.Kind != Attribute {
+			// Attributes are stored first; stop at the first non-attribute.
+			break
+		}
+		if c.Label == want {
+			return c
+		}
+	}
+	return nil
+}
+
+// lastOrd returns the ordinal of the last child of n, or nil when childless.
+func (n *Node) lastOrd() dewey.Ord {
+	if len(n.Children) == 0 {
+		return nil
+	}
+	last := n.Children[len(n.Children)-1]
+	return last.ID.Step(last.ID.Level() - 1).Ord
+}
+
+// Clone returns a deep copy of the subtree rooted at n, with nil Parent at
+// the top and no IDs assigned (IDs belong to a document position).
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Label: n.Label, Value: n.Value}
+	c.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children[i] = cc
+	}
+	return c
+}
+
+// CountNodes returns the number of nodes in the subtree rooted at n.
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// WordLabel returns the pattern label denoting a word leaf: a pattern node
+// labeled "~w" matches any text node whose whitespace-tokenized value
+// contains the word w (the paper's word alphabet A_w for pattern leaves).
+func WordLabel(word string) string { return "~" + word }
+
+// MatchesWord reports whether the node is a text node containing the given
+// word as a whitespace-delimited token.
+func (n *Node) MatchesWord(word string) bool {
+	if n.Kind != Text {
+		return false
+	}
+	rest := n.Value
+	for len(rest) > 0 {
+		tok := rest
+		if i := indexSpace(rest); i >= 0 {
+			tok, rest = rest[:i], rest[i+1:]
+		} else {
+			rest = ""
+		}
+		if tok == word {
+			return true
+		}
+	}
+	return false
+}
+
+func indexSpace(s string) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,83 @@
+package xmltree
+
+import (
+	"io"
+	"strings"
+)
+
+// Serialize writes the document as XML text.
+func (d *Document) Serialize(w io.Writer) error {
+	var b strings.Builder
+	serializeNode(&b, d.Root)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String returns the serialized document.
+func (d *Document) String() string {
+	var b strings.Builder
+	serializeNode(&b, d.Root)
+	return b.String()
+}
+
+func serializeNode(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case Text:
+		escapeText(b, n.Value)
+	case Attribute:
+		// Attributes are serialized by their owning element.
+	case Element:
+		b.WriteByte('<')
+		b.WriteString(n.Label)
+		i := 0
+		for ; i < len(n.Children) && n.Children[i].Kind == Attribute; i++ {
+			a := n.Children[i]
+			b.WriteByte(' ')
+			b.WriteString(a.Label[1:])
+			b.WriteString(`="`)
+			escapeAttr(b, a.Value)
+			b.WriteByte('"')
+		}
+		if i == len(n.Children) {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for ; i < len(n.Children); i++ {
+			serializeNode(b, n.Children[i])
+		}
+		b.WriteString("</")
+		b.WriteString(n.Label)
+		b.WriteByte('>')
+	}
+}
+
+func escapeText(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func escapeAttr(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package xpath implements the XPath{/,//,*,[]} dialect used by the paper
+// for view paths and update target paths: child and descendant axes, name
+// and wildcard tests, attribute and text() steps, and predicates built from
+// relative-path existence tests, value comparisons, and / or combinations.
+package xpath
+
+import (
+	"strings"
+
+	"xivm/internal/dewey"
+)
+
+// Axis selects how a step relates to the previous one.
+type Axis uint8
+
+const (
+	// Child is the parent-child axis ("/").
+	Child Axis = iota
+	// Descendant is the ancestor-descendant axis ("//"), meaning
+	// descendant-or-self followed by child, as in standard XPath
+	// abbreviated syntax.
+	Descendant
+)
+
+// TestKind distinguishes node tests.
+type TestKind uint8
+
+const (
+	// TestName matches elements with a specific label.
+	TestName TestKind = iota
+	// TestWildcard matches any element ("*").
+	TestWildcard
+	// TestAttr matches an attribute ("@name").
+	TestAttr
+	// TestText matches text nodes ("text()").
+	TestText
+)
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Kind  TestKind
+	Name  string // label for TestName, attribute name for TestAttr
+	Preds []Expr
+}
+
+// Path is an XPath expression: a sequence of steps. Absolute paths are
+// evaluated from the document root; in predicates, paths are relative to the
+// context node.
+type Path struct {
+	Steps []Step
+}
+
+// Expr is a predicate expression.
+type Expr interface{ exprNode() }
+
+// OrExpr is a disjunction.
+type OrExpr struct{ Left, Right Expr }
+
+// AndExpr is a conjunction.
+type AndExpr struct{ Left, Right Expr }
+
+// ExistsExpr tests whether a relative path has at least one result.
+type ExistsExpr struct{ Path Path }
+
+// EqExpr compares the string value of a relative path's first result with a
+// literal.
+type EqExpr struct {
+	Path Path
+	Lit  string
+}
+
+func (OrExpr) exprNode()     {}
+func (AndExpr) exprNode()    {}
+func (ExistsExpr) exprNode() {}
+func (EqExpr) exprNode()     {}
+
+// String renders the path back to XPath syntax.
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		if s.Axis == Descendant {
+			b.WriteString("//")
+		} else {
+			b.WriteString("/")
+		}
+		b.WriteString(stepName(s))
+		for _, pr := range s.Preds {
+			b.WriteByte('[')
+			writeExpr(&b, pr)
+			b.WriteByte(']')
+		}
+	}
+	return b.String()
+}
+
+func stepName(s Step) string {
+	switch s.Kind {
+	case TestWildcard:
+		return "*"
+	case TestAttr:
+		return "@" + s.Name
+	case TestText:
+		return "text()"
+	}
+	return s.Name
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case OrExpr:
+		writeExpr(b, x.Left)
+		b.WriteString(" or ")
+		writeExpr(b, x.Right)
+	case AndExpr:
+		// "and" binds tighter than "or", so only disjunction operands need
+		// explicit parentheses to reparse identically.
+		writeAndOperand(b, x.Left)
+		b.WriteString(" and ")
+		writeAndOperand(b, x.Right)
+	case ExistsExpr:
+		b.WriteString(strings.TrimPrefix(x.Path.String(), "/"))
+	case EqExpr:
+		b.WriteString(strings.TrimPrefix(x.Path.String(), "/"))
+		b.WriteString("=\"")
+		b.WriteString(x.Lit)
+		b.WriteString("\"")
+	}
+}
+
+func writeAndOperand(b *strings.Builder, e Expr) {
+	if _, isOr := e.(OrExpr); isOr {
+		b.WriteByte('(')
+		writeExpr(b, e)
+		b.WriteByte(')')
+		return
+	}
+	writeExpr(b, e)
+}
+
+// IsLinear reports whether the path has no predicates (class L of the
+// paper's update taxonomy).
+func (p Path) IsLinear() bool {
+	for _, s := range p.Steps {
+		if len(s.Preds) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DeweySteps converts the path's spine (ignoring predicates) to the label
+// path condition used by the Path Filter primitive. It returns false if the
+// path contains attribute or text() steps, which have no label-path
+// equivalent for elements.
+func (p Path) DeweySteps() ([]dewey.PathStep, bool) {
+	out := make([]dewey.PathStep, 0, len(p.Steps))
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case TestName:
+			out = append(out, dewey.PathStep{Label: s.Name, Desc: s.Axis == Descendant})
+		case TestWildcard:
+			out = append(out, dewey.PathStep{Label: "*", Desc: s.Axis == Descendant})
+		case TestAttr:
+			out = append(out, dewey.PathStep{Label: "@" + s.Name, Desc: s.Axis == Descendant})
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}

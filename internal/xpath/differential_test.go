@@ -1,0 +1,173 @@
+package xpath
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xivm/internal/xmltree"
+)
+
+// refEval is an independent reference evaluator: it filters the full node
+// list step by step using parent-chain checks, instead of navigating.
+func refEval(d *xmltree.Document, p Path) []*xmltree.Node {
+	var all []*xmltree.Node
+	xmltree.Walk(d.Root, func(n *xmltree.Node) bool {
+		all = append(all, n)
+		return true
+	})
+	matches := func(st Step, n *xmltree.Node) bool {
+		switch st.Kind {
+		case TestName:
+			return n.Kind == xmltree.Element && n.Label == st.Name
+		case TestWildcard:
+			return n.Kind == xmltree.Element
+		case TestAttr:
+			return n.Kind == xmltree.Attribute && n.Label == "@"+st.Name
+		case TestText:
+			return n.Kind == xmltree.Text
+		}
+		return false
+	}
+	// ctx holds nodes bound by the previous step (nil element = document).
+	ctx := map[*xmltree.Node]bool{nil: true}
+	for _, st := range p.Steps {
+		next := map[*xmltree.Node]bool{}
+		for _, n := range all {
+			if !matches(st, n) {
+				continue
+			}
+			ok := false
+			if st.Axis == Child {
+				parent := n.Parent
+				if ctx[parent] {
+					ok = true
+				}
+				if parent == d.Root.Parent && ctx[nil] && n == d.Root {
+					ok = true
+				}
+			} else {
+				for a := n.Parent; ; a = a.Parent {
+					if ctx[a] {
+						ok = true
+						break
+					}
+					if a == nil {
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			good := true
+			for _, pr := range st.Preds {
+				if !refPred(n, pr) {
+					good = false
+					break
+				}
+			}
+			if good {
+				next[n] = true
+			}
+		}
+		delete(next, nil)
+		ctx = next
+	}
+	var out []*xmltree.Node
+	for _, n := range all { // document order
+		if ctx[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func refPred(ctx *xmltree.Node, e Expr) bool {
+	switch x := e.(type) {
+	case OrExpr:
+		return refPred(ctx, x.Left) || refPred(ctx, x.Right)
+	case AndExpr:
+		return refPred(ctx, x.Left) && refPred(ctx, x.Right)
+	case ExistsExpr:
+		return len(EvalRelative(ctx, x.Path)) > 0
+	case EqExpr:
+		for _, n := range EvalRelative(ctx, x.Path) {
+			if n.StringValue() == x.Lit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestEvalMatchesReference compares the evaluator with the reference on
+// random documents and random paths.
+func TestEvalMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	labels := []string{"a", "b", "c"}
+	var build func(lvl int) string
+	build = func(lvl int) string {
+		l := labels[rng.Intn(len(labels))]
+		s := "<" + l + ">"
+		if rng.Intn(4) == 0 {
+			s += "5"
+		}
+		if lvl < 4 {
+			for i := 0; i < rng.Intn(3); i++ {
+				s += build(lvl + 1)
+			}
+		}
+		return s + "</" + l + ">"
+	}
+	randPath := func() string {
+		var sb strings.Builder
+		steps := 1 + rng.Intn(3)
+		for i := 0; i < steps; i++ {
+			if rng.Intn(2) == 0 {
+				sb.WriteString("/")
+			} else {
+				sb.WriteString("//")
+			}
+			name := labels[rng.Intn(len(labels))]
+			if rng.Intn(5) == 0 {
+				name = "*"
+			}
+			sb.WriteString(name)
+			if rng.Intn(4) == 0 {
+				switch rng.Intn(3) {
+				case 0:
+					fmt.Fprintf(&sb, "[%s]", labels[rng.Intn(3)])
+				case 1:
+					fmt.Fprintf(&sb, "[%s='5']", labels[rng.Intn(3)])
+				case 2:
+					fmt.Fprintf(&sb, "[%s or %s]", labels[rng.Intn(3)], labels[rng.Intn(3)])
+				}
+			}
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 400; trial++ {
+		src := "<r>" + build(1) + build(1) + "</r>"
+		d, err := xmltree.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expr := randPath()
+		p, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		got := Eval(d, p)
+		want := refEval(d, p)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %s over %s: %d vs %d nodes", trial, expr, src, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: %s: node %d differs", trial, expr, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package xpath
+
+import (
+	"sort"
+
+	"xivm/internal/xmltree"
+)
+
+// Eval evaluates an absolute path on the document, returning matching nodes
+// in document order without duplicates.
+func Eval(d *xmltree.Document, p Path) []*xmltree.Node {
+	// The first step consumes the root itself: "/site" matches a root
+	// labeled site; "//x" matches any element labeled x including the root.
+	return evalSteps(rootContext(d), p.Steps)
+}
+
+// rootContext returns a pseudo-context holding the document root's parent
+// position: evaluating a child step from it yields the root element.
+func rootContext(d *xmltree.Document) []*xmltree.Node {
+	return []*xmltree.Node{{Kind: xmltree.Element, Label: "#doc", Children: []*xmltree.Node{d.Root}}}
+}
+
+// EvalRelative evaluates a relative path from the given context node.
+func EvalRelative(ctx *xmltree.Node, p Path) []*xmltree.Node {
+	return evalSteps([]*xmltree.Node{ctx}, p.Steps)
+}
+
+func evalSteps(ctx []*xmltree.Node, steps []Step) []*xmltree.Node {
+	cur := ctx
+	for _, st := range steps {
+		var next []*xmltree.Node
+		seen := map[*xmltree.Node]bool{}
+		add := func(n *xmltree.Node) {
+			if !seen[n] {
+				seen[n] = true
+				next = append(next, n)
+			}
+		}
+		for _, c := range cur {
+			switch st.Axis {
+			case Child:
+				for _, ch := range c.Children {
+					if matchTest(st, ch) {
+						add(ch)
+					}
+				}
+			case Descendant:
+				xmltree.Walk(c, func(n *xmltree.Node) bool {
+					if n != c && matchTest(st, n) {
+						add(n)
+					}
+					return true
+				})
+			}
+		}
+		if len(st.Preds) > 0 {
+			filtered := next[:0]
+			for _, n := range next {
+				ok := true
+				for _, pr := range st.Preds {
+					if !evalPred(n, pr) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					filtered = append(filtered, n)
+				}
+			}
+			next = filtered
+		}
+		cur = next
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	sortDocOrder(cur)
+	return cur
+}
+
+func matchTest(st Step, n *xmltree.Node) bool {
+	switch st.Kind {
+	case TestName:
+		return n.Kind == xmltree.Element && n.Label == st.Name
+	case TestWildcard:
+		return n.Kind == xmltree.Element
+	case TestAttr:
+		return n.Kind == xmltree.Attribute && n.Label == "@"+st.Name
+	case TestText:
+		return n.Kind == xmltree.Text
+	}
+	return false
+}
+
+func evalPred(ctx *xmltree.Node, e Expr) bool {
+	switch x := e.(type) {
+	case OrExpr:
+		return evalPred(ctx, x.Left) || evalPred(ctx, x.Right)
+	case AndExpr:
+		return evalPred(ctx, x.Left) && evalPred(ctx, x.Right)
+	case ExistsExpr:
+		return len(EvalRelative(ctx, x.Path)) > 0
+	case EqExpr:
+		for _, n := range EvalRelative(ctx, x.Path) {
+			if n.StringValue() == x.Lit {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func sortDocOrder(nodes []*xmltree.Node) {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].ID.Compare(nodes[j].ID) < 0
+	})
+}

@@ -1,0 +1,34 @@
+package xpath
+
+import "testing"
+
+// FuzzParse hardens the XPath parser: any input must either error or
+// produce a path whose printed form reparses to the same print (stability),
+// without panicking.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/site/people/person",
+		"//a[b and (c or d)]",
+		`//x[@id="v"]`,
+		"/a/*/b/text()",
+		"//item[description][name='i1']",
+		"/a[b=1.5]//c",
+		"//", "[", "/a[", "/a]b", `/a[@x='`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := p.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("print of %q -> %q does not reparse: %v", src, printed, err)
+		}
+		if p2.String() != printed {
+			t.Fatalf("unstable print: %q vs %q", printed, p2.String())
+		}
+	})
+}
