@@ -18,11 +18,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -serve exposes /debug/pprof
 	"os"
 	"path/filepath"
 	"strings"
 
 	"xivm/internal/core"
+	"xivm/internal/obs"
 	"xivm/internal/pattern"
 	"xivm/internal/store"
 	"xivm/internal/update"
@@ -53,7 +56,15 @@ func run() error {
 	stats := flag.Bool("stats", false, "print per-phase timing breakdowns")
 	saveDir := flag.String("save", "", "directory to write per-view binary snapshots after all statements")
 	loadDir := flag.String("load", "", "directory to restore per-view snapshots from (instead of materializing)")
+	metricsOut := flag.String("metrics", "", `dump engine metrics when done: "json" to stdout, or a file path`)
+	serveAddr := flag.String("serve", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		obs.PublishExpvar("xivm", obs.Default())
+		go func() { _ = http.ListenAndServe(*serveAddr, nil) }()
+		fmt.Printf("serving pprof/expvar on %s\n", *serveAddr)
+	}
 
 	if *docPath == "" {
 		return fmt.Errorf("-doc is required")
@@ -68,17 +79,17 @@ func run() error {
 		return err
 	}
 
-	opts := core.Options{}
+	var eopts []core.Option
 	switch *policy {
 	case "snowcaps":
 	case "leaves":
-		opts.Policy = core.PolicyLeaves
+		eopts = append(eopts, core.WithPolicy(core.PolicyLeaves))
 	case "cost":
-		opts.Policy = core.PolicyCost
+		eopts = append(eopts, core.WithPolicy(core.PolicyCost))
 	default:
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
-	e := core.NewEngine(doc, opts)
+	e := core.New(doc, eopts...)
 
 	addView := func(spec string, compile func(string) (*pattern.Pattern, error)) error {
 		name, src, ok := strings.Cut(spec, "=")
@@ -155,6 +166,9 @@ func run() error {
 				return err
 			}
 			fmt.Printf("targets=%d\n", rep.Targets)
+			if *stats {
+				fmt.Printf("find=%v (once per statement)\n", rep.FindTargets)
+			}
 			for _, vr := range rep.Views {
 				fmt.Printf("view %-8s +%d -%d ~%d rows  terms %d/%d",
 					vr.View.Name, vr.RowsAdded, vr.RowsRemoved, vr.RowsModified,
@@ -164,9 +178,9 @@ func run() error {
 				}
 				fmt.Println()
 				if *stats {
-					t := vr.Timings
-					fmt.Printf("  find=%v delta=%v expr=%v exec=%v lattice=%v\n",
-						t.FindTargets, t.ComputeDelta, t.GetExpression, t.ExecuteUpdate, t.UpdateLattice)
+					t := vr.Timings()
+					fmt.Printf("  delta=%v expr=%v exec=%v lattice=%v\n",
+						t.ComputeDelta, t.GetExpression, t.ExecuteUpdate, t.UpdateLattice)
 				}
 			}
 		case "full":
@@ -203,13 +217,24 @@ func run() error {
 			return err
 		}
 		for _, mv := range e.Views {
-			data := store.EncodeSnapshot(mv.View)
+			data := e.Store.EncodeView(mv.View)
 			path := filepath.Join(*saveDir, mv.Name+".xivm")
 			if err := os.WriteFile(path, data, 0o644); err != nil {
 				return err
 			}
 			fmt.Printf("saved %s (%d bytes)\n", path, len(data))
 		}
+	}
+	if *metricsOut != "" {
+		if *metricsOut == "json" || *metricsOut == "-" {
+			fmt.Println()
+			return e.Metrics().WriteJSON(os.Stdout)
+		}
+		var b strings.Builder
+		if err := e.Metrics().WriteJSON(&b); err != nil {
+			return err
+		}
+		return os.WriteFile(*metricsOut, []byte(b.String()), 0o644)
 	}
 	return nil
 }

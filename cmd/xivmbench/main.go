@@ -13,15 +13,26 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -serve exposes /debug/pprof
 	"os"
 
 	"xivm/internal/bench"
+	"xivm/internal/obs"
 )
 
 func main() {
 	size := flag.Int("size", bench.DefaultBytes, "large-document size in bytes (the paper's 10MB class)")
 	small := flag.Int("small", bench.SmallBytes, "small-document size in bytes (the paper's 100KB class)")
+	metrics := flag.String("metrics", "", `dump the whole run's engine metrics when done: "json" for stdout, or a file path`)
+	serveAddr := flag.String("serve", "", "serve /debug/pprof and /debug/vars on this address while benchmarks run (e.g. :6060)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		obs.PublishExpvar("xivm", obs.Default())
+		go func() { _ = http.ListenAndServe(*serveAddr, nil) }()
+		fmt.Fprintf(os.Stderr, "serving pprof/expvar on %s\n", *serveAddr)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -94,5 +105,27 @@ func main() {
 	}
 	for _, a := range args {
 		run(a)
+	}
+	if *metrics != "" {
+		// Every engine the benchmarks construct records into the shared
+		// obs.Default() registry, so this is a whole-run profile.
+		if *metrics == "json" || *metrics == "-" {
+			if err := obs.Default().WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "xivmbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		f, err := os.Create(*metrics)
+		if err == nil {
+			err = obs.Default().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xivmbench:", err)
+			os.Exit(1)
+		}
 	}
 }

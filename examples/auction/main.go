@@ -13,6 +13,7 @@ import (
 
 	"xivm/internal/algebra"
 	"xivm/internal/core"
+	"xivm/internal/obs"
 	"xivm/internal/update"
 	"xivm/internal/xmark"
 	"xivm/internal/xmltree"
@@ -26,7 +27,7 @@ func main() {
 	}
 	fmt.Printf("auction site: %d bytes, %d nodes\n", len(src), doc.Size())
 
-	engine := core.NewEngine(doc, core.Options{})
+	engine := core.New(doc, core.WithMetrics(obs.New()))
 	for _, name := range xmark.ViewNames() {
 		mv, err := engine.AddView(name, xmark.View(name))
 		if err != nil {
@@ -80,4 +81,10 @@ func main() {
 	fmt.Printf("one full recomputation of all views:      %v (×%d statements ≈ %v)\n",
 		oneRecompute, len(stream), oneRecompute*time.Duration(len(stream)))
 	fmt.Println("all views verified against recomputation after every statement ✓")
+
+	// The engine kept count of everything it did; dump the counters.
+	fmt.Println("\nengine metrics:")
+	for _, c := range engine.Metrics().Snapshot().Counters {
+		fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+	}
 }

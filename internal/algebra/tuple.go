@@ -129,6 +129,10 @@ func ProjectOnto(p *pattern.Pattern, indexes []int, tuples []Tuple, doc *xmltree
 // ProjectBlock projects a block onto the given pattern node indexes,
 // deduplicating and count-summing.
 func ProjectBlock(p *pattern.Pattern, b Block, indexes []int, doc *xmltree.Document) []Row {
+	return projectBlock(p, b, indexes, doc, ProjectCounters{})
+}
+
+func projectBlock(p *pattern.Pattern, b Block, indexes []int, doc *xmltree.Document, pc ProjectCounters) []Row {
 	cols := make([]int, len(indexes))
 	for i, idx := range indexes {
 		c := b.ColOf(idx)
@@ -164,11 +168,13 @@ func ProjectBlock(p *pattern.Pattern, b Block, indexes []int, doc *xmltree.Docum
 		k := row.Key()
 		if at, ok := byKey[k]; ok {
 			rows[at].Count += row.Count
+			pc.Merged.Inc()
 		} else {
 			byKey[k] = len(rows)
 			rows = append(rows, row)
 		}
 	}
+	pc.Rows.Add(int64(len(rows)))
 	SortRows(rows)
 	return rows
 }

@@ -7,14 +7,23 @@
 // (Alg. 3), PIMT (Alg. 4), PDDT (Alg. 5) and the combined PDDT/MT (Alg. 6),
 // together with a full-recomputation baseline and the IVMA node-at-a-time
 // competitor used in the experiments.
+//
+// Engines are observable: every propagation phase, prune decision, join and
+// row mutation is recorded in an obs.Metrics registry (Engine.Metrics), and
+// an optional obs.Tracer receives span start/finish events per statement,
+// per phase and per view. The context-aware entry points (ApplyStatementCtx,
+// ApplyPULCtx) honor cancellation between phases and between views; a
+// cancelled pass never leaves a view inconsistent (see applyPUL).
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"xivm/internal/algebra"
+	"xivm/internal/obs"
 	"xivm/internal/pattern"
 	"xivm/internal/store"
 	"xivm/internal/update"
@@ -48,6 +57,10 @@ func (p Policy) String() string {
 
 // Options tunes an Engine; the zero value is the paper's default
 // configuration (snowcap policy, structural joins, all pruning on).
+// Prefer the functional-option constructor New (options.go) over poking
+// fields directly — the struct form is kept for the zero-value default and
+// for serialization-style construction, but new fields are only guaranteed
+// to get a matching With* option.
 type Options struct {
 	Policy Policy
 	// Join overrides the physical join (nil = Dewey structural join).
@@ -74,6 +87,14 @@ type Options struct {
 	// materialized once and maintained once per statement. Incompatible
 	// with deferred (Lazy) propagation.
 	SharedSnowcaps bool
+	// Metrics is the registry the engine records into; nil selects the
+	// process-wide obs.Default(). Pass a private registry (obs.New()) to
+	// isolate one engine's counters.
+	Metrics *obs.Metrics
+	// Tracer, when non-nil, receives span start/finish events per
+	// statement, per phase and per view. Implementations must be safe for
+	// concurrent use when Parallel is set.
+	Tracer obs.Tracer
 }
 
 // Engine owns a document, its store, and a set of maintained views.
@@ -83,6 +104,9 @@ type Engine struct {
 	Views []*ManagedView
 	pool  *Pool
 	opts  Options
+	join  algebra.JoinFunc // physical join, instrumented
+	m     *engineMetrics
+	proj  algebra.ProjectCounters
 }
 
 // ManagedView is one materialized view under maintenance.
@@ -99,12 +123,30 @@ type ManagedView struct {
 
 // NewEngine indexes the document and returns an engine with no views.
 func NewEngine(doc *xmltree.Document, opts Options) *Engine {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	e := &Engine{Doc: doc, Store: store.New(doc), opts: opts}
+	e.m = newEngineMetrics(reg)
+	e.proj = algebra.NewProjectCounters(reg)
+	e.Store.SetMetrics(reg)
+	base := opts.Join
+	if base == nil {
+		base = algebra.StructuralJoin
+	}
+	e.join = algebra.InstrumentJoin(base, algebra.NewJoinCounters(reg))
 	if opts.SharedSnowcaps {
 		e.pool = NewPool(e.Store, e.Join())
 	}
 	return e
 }
+
+// Metrics returns the registry the engine records into.
+func (e *Engine) Metrics() *obs.Metrics { return e.m.reg }
+
+// span starts a tracer span, returning its (nil-safe) finish function.
+func (e *Engine) span(name string) func() { return obs.StartSpan(e.opts.Tracer, name) }
 
 // SharedPool returns the cross-view snowcap pool, or nil when sharing is
 // off.
@@ -128,13 +170,9 @@ func (e *Engine) newLattice(p *pattern.Pattern) *Lattice {
 	return NewLattice(p, e.opts.Policy, e.Store, e.Join())
 }
 
-// Join returns the engine's physical join function.
-func (e *Engine) Join() algebra.JoinFunc {
-	if e.opts.Join != nil {
-		return e.opts.Join
-	}
-	return algebra.StructuralJoin
-}
+// Join returns the engine's physical join function (the configured join
+// wrapped with the algebra.join.* counters).
+func (e *Engine) Join() algebra.JoinFunc { return e.join }
 
 // AddView materializes a view over the current document and prepares its
 // maintenance structures (term expansion and snowcap lattice).
@@ -145,16 +183,7 @@ func (e *Engine) AddView(name string, p *pattern.Pattern) (*ManagedView, error) 
 	in := e.Store.Inputs(p)
 	tuples := algebra.EvalPattern(p, in, e.Join())
 	rows := algebra.ProjectStored(p, tuples, e.Doc)
-	mv := &ManagedView{
-		Name:        name,
-		Pattern:     p,
-		View:        store.NewMaterializedView(p, rows),
-		insertTerms: InsertTerms(p),
-		deleteTerms: DeleteTerms(p),
-	}
-	mv.Lattice = e.newLattice(p)
-	e.Views = append(e.Views, mv)
-	return mv, nil
+	return e.installView(name, p, rows)
 }
 
 // AddViewRows installs a view from previously materialized rows (e.g. a
@@ -165,6 +194,10 @@ func (e *Engine) AddViewRows(name string, p *pattern.Pattern, rows []algebra.Row
 	if len(p.StoredIndexes()) == 0 {
 		return nil, fmt.Errorf("core: view %s stores nothing", name)
 	}
+	return e.installView(name, p, rows)
+}
+
+func (e *Engine) installView(name string, p *pattern.Pattern, rows []algebra.Row) (*ManagedView, error) {
 	mv := &ManagedView{
 		Name:        name,
 		Pattern:     p,
@@ -172,18 +205,48 @@ func (e *Engine) AddViewRows(name string, p *pattern.Pattern, rows []algebra.Row
 		insertTerms: InsertTerms(p),
 		deleteTerms: DeleteTerms(p),
 	}
+	// Development-time pruning accounting: of the 2^k−1 candidate union
+	// terms, Propositions 3.3 (insert) and 4.2 (delete) keep only the
+	// upward-closed R-masks.
+	candidates := int64(p.FullMask()) // 2^k − 1
+	e.m.pruneProp33.Add(candidates - int64(len(mv.insertTerms)))
+	e.m.pruneProp42.Add(candidates - int64(len(mv.deleteTerms)))
 	mv.Lattice = e.newLattice(p)
 	e.Views = append(e.Views, mv)
 	return mv, nil
 }
 
-// Timings is the per-phase breakdown reported by the paper's experiments.
+// Timings is the legacy per-phase breakdown struct reported by the paper's
+// experiments. It is now a thin, fixed-field view over the phase-keyed
+// obs.Breakdown that reports carry natively.
 type Timings struct {
 	FindTargets   time.Duration // locate target nodes (Saxon's role)
 	ComputeDelta  time.Duration // build the ∆+ / ∆− tables (CD+/CD−)
 	GetExpression time.Duration // unfold + prune the update expression
 	ExecuteUpdate time.Duration // evaluate terms, apply to the view
 	UpdateLattice time.Duration // refresh auxiliary structures
+}
+
+// TimingsOf projects a phase-keyed breakdown onto the legacy struct.
+func TimingsOf(b obs.Breakdown) Timings {
+	return Timings{
+		FindTargets:   b.Get(obs.PhaseFindTargets),
+		ComputeDelta:  b.Get(obs.PhaseComputeDelta),
+		GetExpression: b.Get(obs.PhaseGetExpression),
+		ExecuteUpdate: b.Get(obs.PhaseExecuteUpdate),
+		UpdateLattice: b.Get(obs.PhaseUpdateLattice),
+	}
+}
+
+// Breakdown converts the legacy struct back to its phase-keyed form.
+func (t Timings) Breakdown() obs.Breakdown {
+	return obs.Breakdown{
+		obs.PhaseFindTargets:   t.FindTargets,
+		obs.PhaseComputeDelta:  t.ComputeDelta,
+		obs.PhaseGetExpression: t.GetExpression,
+		obs.PhaseExecuteUpdate: t.ExecuteUpdate,
+		obs.PhaseUpdateLattice: t.UpdateLattice,
+	}
 }
 
 // Total sums all phases.
@@ -202,8 +265,11 @@ func (t *Timings) Add(o Timings) {
 
 // ViewReport describes the effect of one statement on one view.
 type ViewReport struct {
-	View          *ManagedView
-	Timings       Timings
+	View *ManagedView
+	// Phases is the per-view propagation cost, keyed by obs.Phase* names.
+	// Target location is shared across views and lives on the Report
+	// (Report.FindTargets), so it never appears here.
+	Phases        obs.Breakdown
 	TermsTotal    int // terms before data-driven pruning
 	TermsSurvived int // terms actually evaluated
 	RowsAdded     int
@@ -215,70 +281,124 @@ type ViewReport struct {
 	// Skipped reports that the independence precheck proved the statement
 	// cannot affect this view, so propagation was skipped.
 	Skipped bool
+	// Cancelled reports that context cancellation aborted this view's
+	// algebraic propagation; the engine repaired the view by recomputation
+	// before returning, so it is stale-proof but the incremental path was
+	// not exercised.
+	Cancelled bool
 }
+
+// Timings returns the view's breakdown in the legacy fixed-field form
+// (FindTargets is report-level and therefore zero here).
+func (vr *ViewReport) Timings() Timings { return TimingsOf(vr.Phases) }
 
 // Report describes the effect of one statement on the engine.
 type Report struct {
 	Statement *update.Statement
 	Targets   int
-	Views     []ViewReport
+	// FindTargets is the cost of locating the statement's target nodes.
+	// It is paid once per statement regardless of the number of views,
+	// which is why it lives here and not in the per-view breakdowns.
+	FindTargets time.Duration
+	Views       []ViewReport
 }
 
-// Timings sums the per-view breakdowns (FindTargets counted once).
-func (r *Report) Timings() Timings {
-	var t Timings
-	for i, vr := range r.Views {
-		vt := vr.Timings
-		if i > 0 {
-			vt.FindTargets = 0
-		}
-		t.Add(vt)
+// Breakdown returns the statement's phase-keyed cost: the sum of every
+// view's phases plus the shared target-location cost, counted exactly
+// once.
+func (r *Report) Breakdown() obs.Breakdown {
+	var b obs.Breakdown
+	for i := range r.Views {
+		b = b.Add(r.Views[i].Phases)
 	}
-	return t
+	return b.Set(obs.PhaseFindTargets, r.FindTargets)
 }
+
+// Timings is the legacy fixed-field view over Breakdown.
+func (r *Report) Timings() Timings { return TimingsOf(r.Breakdown()) }
 
 // ApplyStatement runs one update statement: it computes the pending update
 // list, applies the update to the document, and incrementally propagates it
 // to every managed view (PINT/PIMT for insertions, PDDT/PDMT for
 // deletions). The document and store are updated exactly once.
 func (e *Engine) ApplyStatement(st *update.Statement) (*Report, error) {
+	return e.ApplyStatementCtx(context.Background(), st)
+}
+
+// ApplyStatementCtx is ApplyStatement with cancellation: ctx is checked
+// before target location, before the document is mutated, between the
+// delete and insert halves of a replace, and between views during
+// propagation. Cancellation before the document mutation aborts with no
+// effect; cancellation later completes the mutation, repairs any
+// not-yet-propagated view by recomputation, and returns ctx.Err() — the
+// engine is always left consistent.
+func (e *Engine) ApplyStatementCtx(ctx context.Context, st *update.Statement) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	endStatement := e.span("apply:" + st.Kind.String())
+	defer endStatement()
 	t0 := time.Now()
 	if st.Kind == update.Replace {
+		e.m.stReplace.Inc()
 		// Replace = the deletion stage then the insertion stage, each a
 		// full algebraic propagation; reports are merged.
+		endFind := e.span(obs.PhaseFindTargets)
 		delPul, insPul, err := update.ExpandReplace(e.Doc, st)
+		endFind()
 		if err != nil {
 			return nil, err
 		}
 		findTargets := time.Since(t0)
-		delRep, err := e.applyPUL(delPul, nil)
+		e.m.phase[obs.PhaseFindTargets].Observe(findTargets)
+		e.m.targets.Add(int64(delPul.Targets()))
+		if err := ctx.Err(); err != nil {
+			return nil, err // nothing mutated yet: clean abort
+		}
+		delRep, err := e.applyPUL(ctx, delPul, nil)
 		if err != nil {
 			return nil, err
 		}
-		insRep, err := e.applyPUL(insPul, nil)
+		if err := ctx.Err(); err != nil {
+			// The delete half is fully applied and propagated; the insert
+			// half never starts. Views are consistent with the half-updated
+			// document, so this is a clean mid-stream abort.
+			return nil, err
+		}
+		insRep, err := e.applyPUL(ctx, insPul, nil)
 		if err != nil {
 			return nil, err
 		}
-		rep := &Report{Statement: st, Targets: delPul.Targets()}
+		rep := &Report{Statement: st, Targets: delPul.Targets(), FindTargets: findTargets}
 		for i := range delRep.Views {
 			vr := delRep.Views[i]
-			vr.Timings.Add(insRep.Views[i].Timings)
-			vr.Timings.FindTargets = findTargets
-			vr.RowsAdded += insRep.Views[i].RowsAdded
-			vr.RowsRemoved += insRep.Views[i].RowsRemoved
-			vr.RowsModified += insRep.Views[i].RowsModified
-			vr.TermsTotal += insRep.Views[i].TermsTotal
-			vr.TermsSurvived += insRep.Views[i].TermsSurvived
-			vr.PredFallback = vr.PredFallback || insRep.Views[i].PredFallback
+			ivr := insRep.Views[i]
+			vr.Phases = vr.Phases.Add(ivr.Phases)
+			vr.RowsAdded += ivr.RowsAdded
+			vr.RowsRemoved += ivr.RowsRemoved
+			vr.RowsModified += ivr.RowsModified
+			vr.TermsTotal += ivr.TermsTotal
+			vr.TermsSurvived += ivr.TermsSurvived
+			vr.PredFallback = vr.PredFallback || ivr.PredFallback
+			vr.Cancelled = vr.Cancelled || ivr.Cancelled
 			rep.Views = append(rep.Views, vr)
 		}
 		return rep, nil
 	}
+	if st.Kind == update.Insert {
+		e.m.stInsert.Inc()
+	} else {
+		e.m.stDelete.Inc()
+	}
+	endFind := e.span(obs.PhaseFindTargets)
 	pul, err := update.ComputePUL(e.Doc, st)
+	endFind()
 	if err != nil {
 		return nil, err
 	}
 	findTargets := time.Since(t0)
+	e.m.phase[obs.PhaseFindTargets].Observe(findTargets)
+	e.m.targets.Add(int64(pul.Targets()))
 
 	// Optional static independence fast path: views the precheck proves
 	// unaffected skip propagation for this statement.
@@ -293,14 +413,18 @@ func (e *Engine) ApplyStatement(st *update.Statement) (*Report, error) {
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // nothing mutated yet: clean abort
+	}
 
-	rep, err := e.applyPUL(pul, skip)
+	rep, err := e.applyPUL(ctx, pul, skip)
 	if err != nil {
 		return nil, err
 	}
 	rep.Statement = st
-	for i := range rep.Views {
-		rep.Views[i].Timings.FindTargets = findTargets
+	rep.FindTargets = findTargets
+	if err := ctx.Err(); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }
@@ -310,10 +434,25 @@ func (e *Engine) ApplyStatement(st *update.Statement) (*Report, error) {
 // every view. This is the entry point used when PULs arrive pre-optimized
 // (Section 5) rather than from a statement.
 func (e *Engine) ApplyPUL(pul *update.PUL) (*Report, error) {
-	return e.applyPUL(pul, nil)
+	return e.ApplyPULCtx(context.Background(), pul)
 }
 
-func (e *Engine) applyPUL(pul *update.PUL, skip map[*ManagedView]bool) (*Report, error) {
+// ApplyPULCtx is ApplyPUL with cancellation, under the same contract as
+// ApplyStatementCtx: once the document is mutated, cancelled views are
+// repaired by recomputation and ctx.Err() is returned alongside the
+// report.
+func (e *Engine) ApplyPULCtx(ctx context.Context, pul *update.PUL) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := e.applyPUL(ctx, pul, nil)
+	if err != nil {
+		return rep, err
+	}
+	return rep, ctx.Err()
+}
+
+func (e *Engine) applyPUL(ctx context.Context, pul *update.PUL, skip map[*ManagedView]bool) (*Report, error) {
 	// Snapshot σ membership of predicate-labeled ancestors of the targets;
 	// if the update flips any of them (text added or removed below an
 	// existing node a view predicate tests), the ∆ algebra cannot express
@@ -330,7 +469,7 @@ func (e *Engine) applyPUL(pul *update.PUL, skip map[*ManagedView]bool) (*Report,
 		if err != nil {
 			return nil, err
 		}
-		rep.Views = e.propagateAll(skip, func(mv *ManagedView) ViewReport {
+		rep.Views = e.propagateAll(ctx, skip, func(mv *ManagedView) ViewReport {
 			return e.propagateInsert(mv, pul, applied)
 		})
 		if e.pool != nil {
@@ -347,11 +486,21 @@ func (e *Engine) applyPUL(pul *update.PUL, skip map[*ManagedView]bool) (*Report,
 		if e.pool != nil {
 			e.pool.ApplyDelete(applied.DeletedRoots)
 		}
-		rep.Views = e.propagateAll(skip, func(mv *ManagedView) ViewReport {
+		rep.Views = e.propagateAll(ctx, skip, func(mv *ManagedView) ViewReport {
 			return e.propagateDelete(mv, pul, applied)
 		})
 	}
+	// Repair passes run against the now-synced store: first views whose
+	// algebraic propagation was cancelled mid-stream, then views whose
+	// predicates flipped. Both end in a consistent recomputed state.
+	for i := range rep.Views {
+		if rep.Views[i].Cancelled {
+			e.m.viewsCancelled.Inc()
+			e.recomputeFallback(rep.Views[i].View)
+		}
+	}
 	for mv := range flippedViews(probes) {
+		e.m.predFlips.Inc()
 		e.recomputeFallback(mv)
 		for i := range rep.Views {
 			if rep.Views[i].View == mv {
@@ -359,34 +508,50 @@ func (e *Engine) applyPUL(pul *update.PUL, skip map[*ManagedView]bool) (*Report,
 			}
 		}
 	}
+	for i := range rep.Views {
+		e.m.recordView(&rep.Views[i])
+	}
 	return rep, nil
 }
 
 // propagateAll runs one propagation function over every non-skipped view,
 // concurrently when Options.Parallel is set. The document and store must be
 // read-only for the duration (guaranteed by the ApplyPUL phase ordering).
-func (e *Engine) propagateAll(skip map[*ManagedView]bool, f func(*ManagedView) ViewReport) []ViewReport {
+// Context cancellation is honored between views: a view whose propagation
+// has not started when ctx is cancelled is marked Cancelled instead of
+// being propagated (the caller repairs it afterwards).
+func (e *Engine) propagateAll(ctx context.Context, skip map[*ManagedView]bool, f func(*ManagedView) ViewReport) []ViewReport {
+	propagate := func(mv *ManagedView) ViewReport {
+		if ctx.Err() != nil {
+			return ViewReport{View: mv, Cancelled: true}
+		}
+		end := e.span("view:" + mv.Name)
+		defer end()
+		return f(mv)
+	}
 	out := make([]ViewReport, len(e.Views))
 	if !e.opts.Parallel || len(e.Views) < 2 {
 		for i, mv := range e.Views {
 			if skip[mv] {
+				e.m.viewsSkipped.Inc()
 				out[i] = ViewReport{View: mv, Skipped: true}
 				continue
 			}
-			out[i] = f(mv)
+			out[i] = propagate(mv)
 		}
 		return out
 	}
 	var wg sync.WaitGroup
 	for i, mv := range e.Views {
 		if skip[mv] {
+			e.m.viewsSkipped.Inc()
 			out[i] = ViewReport{View: mv, Skipped: true}
 			continue
 		}
 		wg.Add(1)
 		go func(i int, mv *ManagedView) {
 			defer wg.Done()
-			out[i] = f(mv)
+			out[i] = propagate(mv)
 		}(i, mv)
 	}
 	wg.Wait()
@@ -434,5 +599,5 @@ func (e *Engine) evalTermFrom(mv *ManagedView, rmask uint64, deltaIn, rIn algebr
 		forest, roots := algebra.EvalForest(p, dmask, deltaIn, e.Join())
 		block = algebra.AttachForest(p, block, forest, roots, e.Join())
 	}
-	return algebra.ProjectBlock(p, block, p.StoredIndexes(), e.Doc)
+	return algebra.ProjectBlockCounted(p, block, p.StoredIndexes(), e.Doc, e.proj)
 }

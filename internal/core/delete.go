@@ -7,6 +7,7 @@ import (
 	"xivm/internal/xmltree"
 
 	"xivm/internal/algebra"
+	"xivm/internal/obs"
 	"xivm/internal/update"
 )
 
@@ -23,28 +24,41 @@ func (e *Engine) propagateDelete(mv *ManagedView, pul *update.PUL, applied *upda
 	p := mv.Pattern
 
 	// CD−: ∆ tables over the detached subtrees.
+	end := e.span("view:" + mv.Name + "/" + obs.PhaseComputeDelta)
 	t0 := time.Now()
 	deltaIn := e.deltaInputs(p, applied.DeletedRoots)
-	vr.Timings.ComputeDelta = time.Since(t0)
+	vr.Phases = vr.Phases.Set(obs.PhaseComputeDelta, time.Since(t0))
+	end()
+	e.m.countDeltaItems(deltaIn)
 
 	// Prune the pre-developed deletion expression.
+	end = e.span("view:" + mv.Name + "/" + obs.PhaseGetExpression)
 	t0 = time.Now()
 	terms := mv.deleteTerms
 	vr.TermsTotal = len(terms)
+	e.m.termsExpanded.Add(int64(len(terms)))
 	if !e.opts.DisableDataPruning {
+		before := len(terms)
 		terms = PruneByDelta(p, terms, deltaIn)
+		e.m.pruneProp36.Add(int64(before - len(terms)))
 	}
 	if !e.opts.DisableIDPruning {
+		before := len(terms)
 		terms = PruneByDeletedIDs(p, terms, deltaIn)
+		e.m.pruneProp47.Add(int64(before - len(terms)))
 	}
 	vr.TermsSurvived = len(terms)
-	vr.Timings.GetExpression = time.Since(t0)
+	e.m.termsEvaluated.Add(int64(len(terms)))
+	vr.Phases = vr.Phases.Set(obs.PhaseGetExpression, time.Since(t0))
+	end()
 
 	// Update auxiliary structures before evaluating terms: deletion terms
 	// must see post-update snowcaps.
+	end = e.span("view:" + mv.Name + "/" + obs.PhaseUpdateLattice)
 	t0 = time.Now()
-	mv.Lattice.ApplyDelete(applied.DeletedRoots)
-	vr.Timings.UpdateLattice = time.Since(t0)
+	e.m.latticeDropped.Add(int64(mv.Lattice.ApplyDelete(applied.DeletedRoots)))
+	vr.Phases = vr.Phases.Set(obs.PhaseUpdateLattice, time.Since(t0))
+	end()
 
 	// Subtract the removed derivations. Two complementary mechanisms:
 	//
@@ -55,6 +69,7 @@ func (e *Engine) propagateDelete(mv *ManagedView, pul *update.PUL, applied *upda
 	//  2. Terms whose ∆-set touches only NON-stored nodes adjust the counts
 	//     of surviving rows and are evaluated algebraically as usual; terms
 	//     with ∆ on a stored node are exactly the rows pass 1 removed.
+	end = e.span("view:" + mv.Name + "/" + obs.PhaseExecuteUpdate)
 	t0 = time.Now()
 	vr.RowsRemoved += removeRowsUnder(mv, applied.DeletedRoots)
 	var storedMask uint64
@@ -76,7 +91,8 @@ func (e *Engine) propagateDelete(mv *ManagedView, pul *update.PUL, applied *upda
 	// PDMT: surviving tuples whose stored val/cont nodes are ancestors of a
 	// deleted subtree must refresh their stored images.
 	vr.RowsModified = e.modifyTuplesAfterDelete(mv, applied)
-	vr.Timings.ExecuteUpdate = time.Since(t0)
+	vr.Phases = vr.Phases.Set(obs.PhaseExecuteUpdate, time.Since(t0))
+	end()
 	return vr
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xivm/internal/algebra"
+	"xivm/internal/obs"
 	"xivm/internal/pattern"
 	"xivm/internal/update"
 )
@@ -20,26 +21,38 @@ func (e *Engine) propagateInsert(mv *ManagedView, pul *update.PUL, applied *upda
 	p := mv.Pattern
 
 	// CD+: ∆ tables, σ-filtered per node.
+	end := e.span("view:" + mv.Name + "/" + obs.PhaseComputeDelta)
 	t0 := time.Now()
 	deltaIn := e.deltaInputs(p, applied.InsertedRoots)
-	vr.Timings.ComputeDelta = time.Since(t0)
+	vr.Phases = vr.Phases.Set(obs.PhaseComputeDelta, time.Since(t0))
+	end()
+	e.m.countDeltaItems(deltaIn)
 
 	// Prune the pre-developed expression.
+	end = e.span("view:" + mv.Name + "/" + obs.PhaseGetExpression)
 	t0 = time.Now()
 	terms := mv.insertTerms
 	vr.TermsTotal = len(terms)
+	e.m.termsExpanded.Add(int64(len(terms)))
 	if !e.opts.DisableDataPruning {
+		before := len(terms)
 		terms = PruneByDelta(p, terms, deltaIn)
+		e.m.pruneProp36.Add(int64(before - len(terms)))
 	}
 	if !e.opts.DisableIDPruning {
+		before := len(terms)
 		terms = PruneByInsertionPoints(p, terms, pul.InsertionPoints())
+		e.m.pruneProp38.Add(int64(before - len(terms)))
 	}
 	vr.TermsSurvived = len(terms)
-	vr.Timings.GetExpression = time.Since(t0)
+	e.m.termsEvaluated.Add(int64(len(terms)))
+	vr.Phases = vr.Phases.Set(obs.PhaseGetExpression, time.Since(t0))
+	end()
 
 	// ET-INS: evaluate surviving terms and merge into the view. The
 	// σ-filtered canonical relations are assembled once and shared by every
 	// term and by the lattice maintenance below.
+	end = e.span("view:" + mv.Name + "/" + obs.PhaseExecuteUpdate)
 	t0 = time.Now()
 	rIn := e.Store.Inputs(p)
 	for _, rmask := range terms {
@@ -52,12 +65,15 @@ func (e *Engine) propagateInsert(mv *ManagedView, pul *update.PUL, applied *upda
 	// PIMT: an insertion under a node whose val/cont the view stores
 	// modifies that stored image.
 	vr.RowsModified = e.modifyTuplesAfterInsert(mv, pul)
-	vr.Timings.ExecuteUpdate = time.Since(t0)
+	vr.Phases = vr.Phases.Set(obs.PhaseExecuteUpdate, time.Since(t0))
+	end()
 
 	// Maintain auxiliary structures.
+	end = e.span("view:" + mv.Name + "/" + obs.PhaseUpdateLattice)
 	t0 = time.Now()
 	mv.Lattice.ApplyInsertFrom(deltaIn, rIn)
-	vr.Timings.UpdateLattice = time.Since(t0)
+	vr.Phases = vr.Phases.Set(obs.PhaseUpdateLattice, time.Since(t0))
+	end()
 	return vr
 }
 

@@ -74,6 +74,7 @@ func (l *Lazy) Apply(st *update.Statement) error {
 		}
 	}
 	l.pending++
+	e.m.lazyApplied.Inc()
 	return nil
 }
 
@@ -111,7 +112,10 @@ func (l *Lazy) Flush() (time.Duration, error) {
 	}
 
 	l.insRoots, l.delRoots, l.touched, l.probes, l.pending = nil, nil, nil, nil, 0
-	return time.Since(start), nil
+	dur := time.Since(start)
+	e.m.lazyFlushes.Inc()
+	e.m.lazyFlush.Observe(dur)
+	return dur, nil
 }
 
 func (l *Lazy) flushView(mv *ManagedView, insCover *dewey.Cover, insAlive []*xmltree.Node) {

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"xivm/internal/algebra"
+	"xivm/internal/obs"
+)
+
+// engineMetrics bundles the engine's pre-resolved instruments so the hot
+// path pays one atomic op per event instead of a registry lookup. All
+// fields are nil-safe sinks when the registry is nil.
+//
+// Counter names (see the README's Observability section for the full
+// table):
+//
+//	core.statements.{insert,delete,replace}   statements applied
+//	core.targets                              update targets located
+//	core.delta.items                          σ-filtered ∆-table entries built
+//	core.terms.expanded                       union terms considered (post Props 3.3/4.2)
+//	core.terms.evaluated                      union terms actually evaluated
+//	core.prune.prop33 / core.prune.prop42     terms cut at view-development time
+//	core.prune.prop36                         terms cut by empty σ(∆) (data-driven)
+//	core.prune.prop38                         terms cut by insertion-point IDs
+//	core.prune.prop47                         terms cut by deleted-node IDs
+//	core.rows.{added,removed,modified}        view rows touched
+//	core.lattice.tuples_dropped               snowcap tuples dropped on delete
+//	core.predflip.recomputes                  predicate-flip fallback recomputations
+//	core.views.skipped                        views skipped by the independence precheck
+//	core.views.cancelled                      views aborted (and repaired) by ctx cancellation
+//	core.lazy.{applied,flushes}               deferred statements / flushes
+//
+// Histogram names: core.phase.<phase> for the five propagation phases and
+// core.lazy.flush for whole-batch flush time.
+type engineMetrics struct {
+	reg *obs.Metrics
+
+	stInsert, stDelete, stReplace *obs.Counter
+	targets                       *obs.Counter
+	deltaItems                    *obs.Counter
+
+	termsExpanded, termsEvaluated *obs.Counter
+	pruneProp33, pruneProp42      *obs.Counter
+	pruneProp36                   *obs.Counter
+	pruneProp38                   *obs.Counter
+	pruneProp47                   *obs.Counter
+
+	rowsAdded, rowsRemoved, rowsModified *obs.Counter
+	latticeDropped                       *obs.Counter
+	predFlips                            *obs.Counter
+	viewsSkipped, viewsCancelled         *obs.Counter
+	lazyApplied, lazyFlushes             *obs.Counter
+
+	phase     map[string]*obs.Histogram
+	lazyFlush *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Metrics) *engineMetrics {
+	m := &engineMetrics{
+		reg:            reg,
+		stInsert:       reg.Counter("core.statements.insert"),
+		stDelete:       reg.Counter("core.statements.delete"),
+		stReplace:      reg.Counter("core.statements.replace"),
+		targets:        reg.Counter("core.targets"),
+		deltaItems:     reg.Counter("core.delta.items"),
+		termsExpanded:  reg.Counter("core.terms.expanded"),
+		termsEvaluated: reg.Counter("core.terms.evaluated"),
+		pruneProp33:    reg.Counter("core.prune.prop33"),
+		pruneProp42:    reg.Counter("core.prune.prop42"),
+		pruneProp36:    reg.Counter("core.prune.prop36"),
+		pruneProp38:    reg.Counter("core.prune.prop38"),
+		pruneProp47:    reg.Counter("core.prune.prop47"),
+		rowsAdded:      reg.Counter("core.rows.added"),
+		rowsRemoved:    reg.Counter("core.rows.removed"),
+		rowsModified:   reg.Counter("core.rows.modified"),
+		latticeDropped: reg.Counter("core.lattice.tuples_dropped"),
+		predFlips:      reg.Counter("core.predflip.recomputes"),
+		viewsSkipped:   reg.Counter("core.views.skipped"),
+		viewsCancelled: reg.Counter("core.views.cancelled"),
+		lazyApplied:    reg.Counter("core.lazy.applied"),
+		lazyFlushes:    reg.Counter("core.lazy.flushes"),
+		lazyFlush:      reg.Histogram("core.lazy.flush"),
+		phase:          make(map[string]*obs.Histogram, len(obs.Phases)),
+	}
+	for _, p := range obs.Phases {
+		m.phase[p] = reg.Histogram("core.phase." + p)
+	}
+	return m
+}
+
+// recordView folds one view's propagation outcome into the counters.
+func (m *engineMetrics) recordView(vr *ViewReport) {
+	m.rowsAdded.Add(int64(vr.RowsAdded))
+	m.rowsRemoved.Add(int64(vr.RowsRemoved))
+	m.rowsModified.Add(int64(vr.RowsModified))
+	for phase, d := range vr.Phases {
+		m.phase[phase].Observe(d)
+	}
+}
+
+// countDeltaItems sums the σ-filtered ∆-table entries of one view pass.
+func (m *engineMetrics) countDeltaItems(in algebra.Inputs) {
+	var n int64
+	for _, items := range in {
+		n += int64(len(items))
+	}
+	m.deltaItems.Add(n)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "time"
+
+// The canonical propagation phases, named after the paper's per-phase cost
+// breakdown (Section 6). These are the keys of a Breakdown and the span
+// names a Tracer sees.
+const (
+	PhaseFindTargets   = "find_targets"   // locate target nodes (Saxon's role)
+	PhaseComputeDelta  = "compute_delta"  // build the ∆+ / ∆− tables (CD+/CD−)
+	PhaseGetExpression = "get_expression" // unfold + prune the update expression
+	PhaseExecuteUpdate = "execute_update" // evaluate terms, apply to the view
+	PhaseUpdateLattice = "update_lattice" // refresh auxiliary structures
+)
+
+// Phases lists the canonical phases in pipeline order.
+var Phases = []string{
+	PhaseFindTargets,
+	PhaseComputeDelta,
+	PhaseGetExpression,
+	PhaseExecuteUpdate,
+	PhaseUpdateLattice,
+}
+
+// Breakdown is a phase-keyed wall-time accounting of one propagation pass.
+// It is the unifying currency of the reporting API: per-view and per-report
+// timings are Breakdowns, and the legacy core.Timings struct is a thin view
+// over one. A nil Breakdown reads as all-zero.
+type Breakdown map[string]time.Duration
+
+// Get returns the duration recorded for a phase (zero when absent).
+func (b Breakdown) Get(phase string) time.Duration { return b[phase] }
+
+// Set records a phase's duration, replacing any previous value, and
+// returns the (possibly newly allocated) breakdown.
+func (b Breakdown) Set(phase string, d time.Duration) Breakdown {
+	if b == nil {
+		b = make(Breakdown)
+	}
+	b[phase] = d
+	return b
+}
+
+// AddPhase accumulates d into a phase and returns the (possibly newly
+// allocated) breakdown.
+func (b Breakdown) AddPhase(phase string, d time.Duration) Breakdown {
+	if b == nil {
+		b = make(Breakdown)
+	}
+	b[phase] += d
+	return b
+}
+
+// Add accumulates every phase of o and returns the (possibly newly
+// allocated) breakdown.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	for phase, d := range o {
+		b = b.AddPhase(phase, d)
+	}
+	return b
+}
+
+// Total sums all phases.
+func (b Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b {
+		t += d
+	}
+	return t
+}
+
+// Clone returns an independent copy.
+func (b Breakdown) Clone() Breakdown {
+	if b == nil {
+		return nil
+	}
+	out := make(Breakdown, len(b))
+	for phase, d := range b {
+		out[phase] = d
+	}
+	return out
+}
+
+// RecordInto observes every phase of the breakdown into the registry's
+// per-phase histograms, named prefix + "." + phase.
+func (b Breakdown) RecordInto(m *Metrics, prefix string) {
+	if m == nil {
+		return
+	}
+	for phase, d := range b {
+		m.Histogram(prefix + "." + phase).Observe(d)
+	}
+}

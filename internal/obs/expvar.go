@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry's live snapshot as an expvar variable
+// under the given name (served at /debug/vars once net/http is listening).
+// Publishing the same name twice is a no-op rather than the panic expvar
+// itself raises, so CLIs can call this unconditionally.
+func PublishExpvar(name string, m *Metrics) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

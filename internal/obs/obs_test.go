@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	m := New()
+	c := m.Counter("x")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Counter("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d", c.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var m *Metrics
+	m.Counter("a").Add(3)
+	m.Histogram("b").Observe(time.Second)
+	if m.Counter("a").Value() != 0 || m.Histogram("b").Count() != 0 {
+		t.Fatal("nil registry must be a sink")
+	}
+	if m.CounterValue("a") != 0 {
+		t.Fatal("nil registry CounterValue")
+	}
+	var c *Counter
+	c.Inc() // must not panic
+	var h *Histogram
+	h.Observe(time.Second)
+	ran := false
+	h.Time(func() { ran = true })
+	if !ran {
+		t.Fatal("nil histogram Time must still run f")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := New()
+	h := m.Histogram("d")
+	h.Observe(500 * time.Nanosecond) // ≤1µs bucket
+	h.Observe(5 * time.Millisecond)  // ≤10ms bucket
+	h.Observe(time.Minute)           // overflow bucket
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != time.Minute {
+		t.Fatalf("max %v", h.Max())
+	}
+	want := 500*time.Nanosecond + 5*time.Millisecond + time.Minute
+	if h.Sum() != want {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	snap := h.snapshot("d")
+	var total int64
+	overflow := false
+	for _, b := range snap.Buckets {
+		total += b.Count
+		if b.UpperBound == 0 {
+			overflow = true
+		}
+	}
+	if total != 3 || !overflow {
+		t.Fatalf("buckets %+v", snap.Buckets)
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	m := New()
+	m.Counter("b.two").Add(2)
+	m.Counter("a.one").Add(1)
+	m.Histogram("h").Observe(time.Millisecond)
+	s := m.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.one" || s.Counters[1].Value != 2 {
+		t.Fatalf("snapshot %+v", s.Counters)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Fatalf("json round-trip %+v", back.Histograms)
+	}
+	m.Reset()
+	if m.CounterValue("b.two") != 0 || m.Histogram("h").Count() != 0 {
+		t.Fatal("reset left state behind")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	var b Breakdown // nil: Set/AddPhase must allocate
+	b = b.Set(PhaseFindTargets, 5)
+	b = b.AddPhase(PhaseExecuteUpdate, 7)
+	b = b.AddPhase(PhaseExecuteUpdate, 3)
+	other := Breakdown{PhaseComputeDelta: 10}
+	b = b.Add(other)
+	if b.Total() != 25 {
+		t.Fatalf("total %v", b.Total())
+	}
+	if b.Get(PhaseExecuteUpdate) != 10 {
+		t.Fatalf("exec %v", b.Get(PhaseExecuteUpdate))
+	}
+	c := b.Clone()
+	c[PhaseFindTargets] = 99
+	if b.Get(PhaseFindTargets) != 5 {
+		t.Fatal("clone aliases original")
+	}
+	m := New()
+	b.RecordInto(m, "core")
+	if m.Histogram("core."+PhaseComputeDelta).Sum() != 10 {
+		t.Fatal("RecordInto missed a phase")
+	}
+}
+
+func TestCollectTracer(t *testing.T) {
+	var tr CollectTracer
+	end := StartSpan(&tr, "apply/view:Q1/execute_update")
+	time.Sleep(time.Millisecond)
+	end()
+	spans := tr.Spans()
+	if len(spans) != 1 || !strings.HasPrefix(spans[0].Name, "apply/") {
+		t.Fatalf("spans %+v", spans)
+	}
+	if spans[0].Duration <= 0 {
+		t.Fatal("span duration not measured")
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 {
+		t.Fatal("reset kept spans")
+	}
+	// Nil tracer: StartSpan returns a usable no-op.
+	StartSpan(nil, "x")()
+	// Func adapter.
+	var got string
+	ft := TracerFunc(func(name string) func() { return func() { got = name } })
+	StartSpan(ft, "fn")()
+	if got != "fn" {
+		t.Fatal("TracerFunc end not invoked")
+	}
+}
+
+func TestDefaultRegistryShared(t *testing.T) {
+	Default().Counter("test.default.shared").Inc()
+	if Default().CounterValue("test.default.shared") == 0 {
+		t.Fatal("default registry not shared")
+	}
+}

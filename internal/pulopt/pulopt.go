@@ -13,8 +13,34 @@ import (
 	"strings"
 
 	"xivm/internal/dewey"
+	"xivm/internal/obs"
 	"xivm/internal/xmltree"
 )
+
+// Per-rule firing counters (nil *obs.Counter fields are no-op sinks). The
+// optimizer rules are pure functions shared by every engine in the
+// process, so the counters live at package level; SetMetrics must be
+// called before concurrent use (typically once at startup).
+var rules struct {
+	o1, o3, i5  *obs.Counter // reduction
+	io, lo, nlo *obs.Counter // parallel-integration conflicts
+	a1a2, d6    *obs.Counter // sequential aggregation
+}
+
+// SetMetrics wires the per-rule firing counters (pulopt.rule.O1 … D6)
+// into a registry.
+func SetMetrics(m *obs.Metrics) {
+	rules.o1 = m.Counter("pulopt.rule.O1")
+	rules.o3 = m.Counter("pulopt.rule.O3")
+	rules.i5 = m.Counter("pulopt.rule.I5")
+	rules.io = m.Counter("pulopt.rule.IO")
+	rules.lo = m.Counter("pulopt.rule.LO")
+	rules.nlo = m.Counter("pulopt.rule.NLO")
+	rules.a1a2 = m.Counter("pulopt.rule.A1A2")
+	rules.d6 = m.Counter("pulopt.rule.D6")
+}
+
+func init() { SetMetrics(obs.Default()) }
 
 // OpKind distinguishes the two supported elementary operations.
 type OpKind uint8
@@ -77,7 +103,13 @@ func Reduce(ops Seq) Seq {
 			if later.Kind != Del {
 				continue
 			}
-			if later.Target.Equal(op.Target) || later.Target.IsAncestorOf(op.Target) {
+			if later.Target.Equal(op.Target) {
+				rules.o1.Inc()
+				alive[i] = false
+				break
+			}
+			if later.Target.IsAncestorOf(op.Target) {
+				rules.o3.Inc()
 				alive[i] = false
 				break
 			}
@@ -93,6 +125,7 @@ func Reduce(ops Seq) Seq {
 		if op.Kind == InsLast {
 			k := op.Target.Key()
 			if at, ok := firstIns[k]; ok {
+				rules.i5.Inc()
 				merged := out[at]
 				merged.Forest = append(append([]*xmltree.Node{}, merged.Forest...), op.Forest...)
 				out[at] = merged
@@ -133,14 +166,19 @@ func Integrate(d1, d2 Seq) (Seq, []Conflict) {
 		for _, b := range d2 {
 			switch {
 			case a.Kind == InsLast && b.Kind == InsLast && a.Target.Equal(b.Target):
+				rules.io.Inc()
 				conflicts = append(conflicts, Conflict{Rule: "IO", A: a, B: b})
 			case a.Kind == Del && b.Kind == InsLast && a.Target.Equal(b.Target):
+				rules.lo.Inc()
 				conflicts = append(conflicts, Conflict{Rule: "LO", A: a, B: b})
 			case a.Kind == InsLast && b.Kind == Del && b.Target.Equal(a.Target):
+				rules.lo.Inc()
 				conflicts = append(conflicts, Conflict{Rule: "LO", A: b, B: a})
 			case a.Kind == Del && b.Kind == InsLast && a.Target.IsAncestorOf(b.Target):
+				rules.nlo.Inc()
 				conflicts = append(conflicts, Conflict{Rule: "NLO", A: a, B: b})
 			case a.Kind == InsLast && b.Kind == Del && b.Target.IsAncestorOf(a.Target):
+				rules.nlo.Inc()
 				conflicts = append(conflicts, Conflict{Rule: "NLO", A: b, B: a})
 			}
 		}
@@ -170,6 +208,7 @@ func Aggregate(d1, d2 Seq) Seq {
 			mergedIn := false
 			for i, op1 := range out {
 				if op1.Kind == InsLast && op1.Target.Equal(op2.Target) {
+					rules.a1a2.Inc()
 					op1.Forest = append(append([]*xmltree.Node{}, op1.Forest...), op2.Forest...)
 					out[i] = op1
 					mergedIn = true
@@ -181,6 +220,7 @@ func Aggregate(d1, d2 Seq) Seq {
 			}
 			// D6: target inside a tree inserted by ∆1.
 			if spliced := spliceIntoInserted(out, op2); spliced {
+				rules.d6.Inc()
 				continue
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"xivm/internal/algebra"
+	"xivm/internal/obs"
 	"xivm/internal/pattern"
 	"xivm/internal/xmltree"
 )
@@ -21,6 +22,24 @@ type Store struct {
 	doc   *xmltree.Document
 	rels  map[string][]algebra.Item
 	elems []algebra.Item
+
+	// Observability (nil counters are no-op sinks; see SetMetrics).
+	scanCount     *obs.Counter
+	scanItems     *obs.Counter
+	snapshotBytes *obs.Counter
+}
+
+// SetMetrics wires the store's counters into a registry:
+//
+//	store.scan.count     canonical-relation scans served
+//	store.scan.items     items handed out by those scans
+//	store.snapshot.bytes bytes produced by EncodeView
+//
+// Call before concurrent use; a store without metrics records nothing.
+func (s *Store) SetMetrics(m *obs.Metrics) {
+	s.scanCount = m.Counter("store.scan.count")
+	s.scanItems = m.Counter("store.scan.items")
+	s.snapshotBytes = m.Counter("store.snapshot.bytes")
 }
 
 // New builds the canonical relations of doc.
@@ -46,7 +65,9 @@ func (s *Store) Doc() *xmltree.Document { return s.doc }
 // The returned slice is shared (except for word labels); callers must not
 // mutate it.
 func (s *Store) Items(label string) []algebra.Item {
+	s.scanCount.Inc()
 	if label == "*" {
+		s.scanItems.Add(int64(len(s.elems)))
 		return s.elems
 	}
 	if word, isWord := strings.CutPrefix(label, "~"); isWord {
@@ -56,8 +77,10 @@ func (s *Store) Items(label string) []algebra.Item {
 				out = append(out, it)
 			}
 		}
+		s.scanItems.Add(int64(len(s.rels[xmltree.TextLabel])))
 		return out
 	}
+	s.scanItems.Add(int64(len(s.rels[label])))
 	return s.rels[label]
 }
 
