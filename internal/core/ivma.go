@@ -2,9 +2,12 @@ package core
 
 import (
 	"sort"
+	"strings"
 	"time"
 
 	"xivm/internal/algebra"
+	"xivm/internal/dewey"
+	"xivm/internal/pattern"
 	"xivm/internal/store"
 	"xivm/internal/update"
 	"xivm/internal/xmltree"
@@ -55,7 +58,7 @@ func (iv *IVMA) ApplyStatement(st *update.Statement) (time.Duration, error) {
 			for _, mv := range e.Views {
 				iv.propagateSingleInsert(mv, n)
 			}
-			e.Store.AddSubtree(leafOnly(n))
+			e.Store.AddNode(n)
 		}
 		return time.Since(start), nil
 	default:
@@ -77,76 +80,124 @@ func (iv *IVMA) ApplyStatement(st *update.Statement) (time.Duration, error) {
 			for _, mv := range e.Views {
 				iv.propagateSingleDelete(mv, n)
 			}
-			e.Store.RemoveSubtree(leafOnly(n))
+			e.Store.RemoveNode(n)
 		}
 		return time.Since(start), nil
 	}
 }
 
-// leafOnly wraps a node so store updates touch exactly one node (children
-// are handled by their own single-node operations).
-func leafOnly(n *xmltree.Node) *xmltree.Node {
-	cp := &xmltree.Node{Kind: n.Kind, Label: n.Label, Value: n.Value, ID: n.ID}
-	return cp
-}
-
 // propagateSingleInsert adds the view tuples contributed by exactly one new
-// node: for every pattern position the node's label can take, the pattern
-// is evaluated with that position pinned to the node and all others drawn
-// from the current relations (which contain earlier nodes of the same
-// batch, so each new tuple is produced exactly once, when its last-inserted
-// binding arrives).
+// node (the canonical relations do not contain it yet).
 func (iv *IVMA) propagateSingleInsert(mv *ManagedView, n *xmltree.Node) {
-	for _, row := range iv.singleNodeRows(mv, n) {
+	for _, row := range iv.singleNodeRows(mv, n, false) {
 		mv.View.Upsert(row)
 	}
 }
 
+// propagateSingleDelete subtracts the view tuples one node carried (the
+// canonical relations still contain it).
 func (iv *IVMA) propagateSingleDelete(mv *ManagedView, n *xmltree.Node) {
-	for _, row := range iv.singleNodeRows(mv, n) {
+	for _, row := range iv.singleNodeRows(mv, n, true) {
 		mv.View.DecrementBy(row.Key(), row.Count)
 	}
 }
 
-// singleNodeRows evaluates the view pattern once per label-compatible
-// pattern position with the node pinned there, merging the projected rows
-// (a row produced via several positions accumulates its counts, matching
-// embedding multiplicity).
-func (iv *IVMA) singleNodeRows(mv *ManagedView, n *xmltree.Node) []algebra.Row {
+// singleNodeRows evaluates the view tuples that bind n in at least one
+// pattern position, each counted exactly once, as the telescoping sum
+//
+//	Σ_i  (R′_1, …, R′_{i-1}, {n}, R_{i+1}, …, R_k)
+//
+// where R is the relation state without the pass's effect applied (for an
+// insertion: before n joins the relations; for a deletion: while n is still
+// in them) and R′ the state with it. Positions left of the pin read R′,
+// positions right of it R, so a tuple binding n in several positions is
+// produced only by the pin at its leftmost n-position — no tuple is counted
+// twice, and none is missed (the old scheme read R everywhere and dropped
+// "duplicates" the earlier pins could never have produced).
+func (iv *IVMA) singleNodeRows(mv *ManagedView, n *xmltree.Node, deleting bool) []algebra.Row {
 	e := iv.Engine
 	p := mv.Pattern
 	merged := store.NewView(p)
+	base := e.Store.Inputs(p)
 	for i, pn := range p.Nodes {
-		if pn.Label != n.Label && !(pn.Label == "*" && n.Kind == xmltree.Element) {
+		if !labelAdmits(pn.Label, n) {
 			continue
 		}
-		in := e.Store.Inputs(p)
-		pinned := algebra.Filter([]algebra.Item{{ID: n.ID, Node: n}}, pn, e.Doc)
-		if i == 0 {
-			pinned = algebra.FilterRootAnchor(p, pinned)
+		pinned := iv.pinItems(p, i, n)
+		if len(pinned) == 0 {
+			continue
+		}
+		in := make(algebra.Inputs, len(base))
+		for k, v := range base {
+			in[k] = v
 		}
 		in[i] = pinned
-		tuples := algebra.EvalPattern(p, in, e.Join())
-		// Keep only tuples where no OTHER position binds the node itself
-		// when that position was already counted... multiplicities are
-		// handled by evaluating each pinned position and discarding tuples
-		// whose earlier positions also bind n (they are produced by the
-		// earlier pin).
-		for _, t := range tuples {
-			dup := false
-			for j := 0; j < i; j++ {
-				if t.Items[j].ID.Equal(n.ID) {
-					dup = true
-					break
-				}
-			}
-			if dup {
+		for j := 0; j < i; j++ {
+			if !labelAdmits(p.Nodes[j].Label, n) {
 				continue
 			}
-			for _, row := range algebra.ProjectStored(p, []algebra.Tuple{t}, e.Doc) {
-				merged.Upsert(row)
+			if deleting {
+				in[j] = withoutID(in[j], n.ID)
+			} else {
+				in[j] = withItems(in[j], iv.pinItems(p, j, n))
 			}
+		}
+		tuples := algebra.EvalPattern(p, in, e.Join())
+		for _, row := range algebra.ProjectStored(p, tuples, e.Doc) {
+			merged.Upsert(row)
 		}
 	}
 	return merged.Rows()
+}
+
+// pinItems is the σ-filtered singleton input binding n at pattern position
+// i, empty when n fails the position's predicates or root anchoring.
+func (iv *IVMA) pinItems(p *pattern.Pattern, i int, n *xmltree.Node) []algebra.Item {
+	items := algebra.Filter([]algebra.Item{{ID: n.ID, Node: n}}, p.Nodes[i], iv.Engine.Doc)
+	if i == 0 {
+		items = algebra.FilterRootAnchor(p, items)
+	}
+	return items
+}
+
+// labelAdmits reports whether a node can occupy a pattern position with the
+// given label: wildcards take any element, word labels any text node
+// containing the word, plain labels an exact match.
+func labelAdmits(label string, n *xmltree.Node) bool {
+	switch {
+	case label == "*":
+		return n.Kind == xmltree.Element
+	case strings.HasPrefix(label, "~"):
+		return n.MatchesWord(label[1:])
+	default:
+		return label == n.Label
+	}
+}
+
+// withItems merges sorted extra items into a document-ordered item list.
+func withItems(items, add []algebra.Item) []algebra.Item {
+	if len(add) == 0 {
+		return items
+	}
+	out := make([]algebra.Item, 0, len(items)+len(add))
+	i := 0
+	for _, a := range add {
+		for i < len(items) && items[i].ID.Compare(a.ID) < 0 {
+			out = append(out, items[i])
+			i++
+		}
+		out = append(out, a)
+	}
+	return append(out, items[i:]...)
+}
+
+// withoutID filters one ID out of an item list.
+func withoutID(items []algebra.Item, id dewey.ID) []algebra.Item {
+	out := make([]algebra.Item, 0, len(items))
+	for _, it := range items {
+		if !it.ID.Equal(id) {
+			out = append(out, it)
+		}
+	}
+	return out
 }

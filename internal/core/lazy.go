@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"xivm/internal/algebra"
@@ -49,9 +50,34 @@ func NewLazy(e *Engine) *Lazy {
 func (l *Lazy) Pending() int { return l.pending }
 
 // Apply runs the statement against the document and store only, recording
-// what Flush needs. The views go stale until Flush.
+// what Flush needs. The views go stale until Flush. Replace statements are
+// expanded into their deletion and insertion stages, both recorded in the
+// same batch (the net-effect flush composes them like any other churn).
 func (l *Lazy) Apply(st *update.Statement) error {
 	e := l.e
+	if st.Kind == update.Replace {
+		delPul, insPul, err := update.ExpandReplace(e.Doc, st)
+		if err != nil {
+			return err
+		}
+		// Predicate probes for both stages must capture the pre-update
+		// state, so snapshot before any mutation.
+		l.probes = append(l.probes, e.snapshotPredicates(delPul)...)
+		l.probes = append(l.probes, e.snapshotPredicates(insPul)...)
+		delApplied, err := update.Apply(e.Doc, e.Store, delPul)
+		if err != nil {
+			return err
+		}
+		l.recordDeletes(delApplied)
+		insApplied, err := update.Apply(e.Doc, e.Store, insPul)
+		if err != nil {
+			return err
+		}
+		l.recordInserts(insPul, insApplied)
+		l.pending++
+		e.m.lazyApplied.Inc()
+		return nil
+	}
 	pul, err := update.ComputePUL(e.Doc, st)
 	if err != nil {
 		return err
@@ -63,19 +89,34 @@ func (l *Lazy) Apply(st *update.Statement) error {
 	}
 	switch pul.Kind {
 	case update.Insert:
-		l.insRoots = append(l.insRoots, applied.InsertedRoots...)
-		for _, pi := range pul.Inserts {
-			l.touched = append(l.touched, pi.Target.ID)
-		}
+		l.recordInserts(pul, applied)
 	case update.Delete:
-		l.delRoots = append(l.delRoots, applied.DeletedRoots...)
-		for _, n := range applied.DeletedRoots {
-			l.touched = append(l.touched, n.ID.Parent())
-		}
+		l.recordDeletes(applied)
 	}
 	l.pending++
 	e.m.lazyApplied.Inc()
 	return nil
+}
+
+func (l *Lazy) recordInserts(pul *update.PUL, applied *update.Applied) {
+	l.insRoots = append(l.insRoots, applied.InsertedRoots...)
+	for _, pi := range pul.Inserts {
+		l.touched = append(l.touched, pi.Target.ID)
+	}
+}
+
+// recordDeletes books the detached subtrees and their parents as touch
+// points. A root-level delete (a child of the document root) has the root
+// itself as parent; the null ID a hypothetical rootless node would yield is
+// skipped — refreshTouched iterates ancestor levels and must never see a
+// level-0 ID.
+func (l *Lazy) recordDeletes(applied *update.Applied) {
+	l.delRoots = append(l.delRoots, applied.DeletedRoots...)
+	for _, n := range applied.DeletedRoots {
+		if p := n.ID.Parent(); !p.IsNull() {
+			l.touched = append(l.touched, p)
+		}
+	}
 }
 
 // Flush propagates the batch's net effect to every view and resets the
@@ -87,24 +128,46 @@ func (l *Lazy) Flush() (time.Duration, error) {
 	start := time.Now()
 	e := l.e
 
-	// Nodes inserted during the batch, alive or not, identified by ID
-	// prefix against every recorded inserted root.
-	allIns := make([]dewey.ID, len(l.insRoots))
-	for i, r := range l.insRoots {
-		allIns[i] = r.ID
+	// Nodes inserted during the batch, alive or not. Identity must be the
+	// node POINTER, not the Dewey ID: a delete followed by an insert under
+	// the same parent reuses freed sibling ordinals, so an inserted node can
+	// carry the exact ID of a node deleted earlier in the batch (replace
+	// statements do this every time). An ID-prefix cover would then mask the
+	// deleted subtrees out of ∆− and the flush would never decrement them.
+	inserted := make(map[*xmltree.Node]bool)
+	for _, r := range l.insRoots {
+		xmltree.Walk(r, func(n *xmltree.Node) bool {
+			inserted[n] = true
+			return true
+		})
 	}
-	insCover := dewey.NewCover(allIns)
 
-	// Surviving insertions: roots still attached to the document.
+	// Surviving insertions: roots still attached to the document. The
+	// pointer comparison guards against a later insert reusing the ID of an
+	// inserted-then-deleted root. Roots nested inside other surviving roots
+	// (a later statement inserting into an earlier insertion) are dropped:
+	// the outermost root's subtree walk already covers them, so keeping
+	// both would double-count the inner subtree in ∆+. Attached nodes have
+	// unambiguous IDs, and in sorted order a root's descendants follow it
+	// contiguously, so checking the last kept root suffices.
 	var insAlive []*xmltree.Node
 	for _, r := range l.insRoots {
-		if e.Doc.NodeByID(r.ID) != nil {
+		if e.Doc.NodeByID(r.ID) == r {
 			insAlive = append(insAlive, r)
 		}
 	}
+	sort.Slice(insAlive, func(i, j int) bool { return insAlive[i].ID.Compare(insAlive[j].ID) < 0 })
+	kept := insAlive[:0]
+	for _, r := range insAlive {
+		if k := len(kept); k > 0 && kept[k-1].ID.IsAncestorOf(r.ID) {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	insAlive = kept
 
 	for _, mv := range e.Views {
-		l.flushView(mv, insCover, insAlive)
+		l.flushView(mv, inserted, insAlive)
 	}
 
 	for mv := range flippedViews(l.probes) {
@@ -118,13 +181,13 @@ func (l *Lazy) Flush() (time.Duration, error) {
 	return dur, nil
 }
 
-func (l *Lazy) flushView(mv *ManagedView, insCover *dewey.Cover, insAlive []*xmltree.Node) {
+func (l *Lazy) flushView(mv *ManagedView, inserted map[*xmltree.Node]bool, insAlive []*xmltree.Node) {
 	e := l.e
 	p := mv.Pattern
 
 	// R for both passes: the final relations with every batch-inserted
 	// node masked out — exactly the pre-batch survivors.
-	rIn := excludeInputs(e.Store.Inputs(p), insCover)
+	rIn := excludeInputs(e.Store.Inputs(p), inserted)
 
 	// Pass 1: deletions. Materialized snowcaps drop bindings inside the
 	// detached subtrees first (they were never told about insertions, so
@@ -132,7 +195,7 @@ func (l *Lazy) flushView(mv *ManagedView, insCover *dewey.Cover, insAlive []*xml
 	mv.Lattice.ApplyDelete(l.delRoots)
 	if len(l.delRoots) > 0 {
 		removeRowsUnder(mv, l.delRoots)
-		delIn := excludeInputs(e.deltaInputs(p, l.delRoots), insCover)
+		delIn := excludeInputs(e.deltaInputs(p, l.delRoots), inserted)
 		terms := mv.deleteTerms
 		if !e.opts.DisableDataPruning {
 			terms = PruneByDelta(p, terms, delIn)
@@ -214,16 +277,18 @@ func (l *Lazy) refreshTouched(mv *ManagedView) {
 	}
 }
 
-// excludeInputs filters every node's items to those outside the cover.
-func excludeInputs(in algebra.Inputs, cover *dewey.Cover) algebra.Inputs {
-	if cover.Len() == 0 {
+// excludeInputs filters every node's items to those whose live node is not
+// in the excluded set. Pointer identity (not IDs) keeps batch-reused Dewey
+// ordinals from conflating old and new nodes.
+func excludeInputs(in algebra.Inputs, excluded map[*xmltree.Node]bool) algebra.Inputs {
+	if len(excluded) == 0 {
 		return in
 	}
 	out := make(algebra.Inputs, len(in))
 	for i, items := range in {
 		kept := make([]algebra.Item, 0, len(items))
 		for _, it := range items {
-			if !cover.Contains(it.ID) {
+			if !excluded[it.Node] {
 				kept = append(kept, it)
 			}
 		}

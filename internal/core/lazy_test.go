@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"xivm/internal/algebra"
@@ -130,6 +131,117 @@ func TestLazyMatchesEagerRandomStreams(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestLazyReplaceMatchesEager: replace statements in deferred mode expand
+// into the same delete+insert stages eager mode applies, and flush to the
+// same view state.
+func TestLazyReplaceMatchesEager(t *testing.T) {
+	src := `<root><a><b>5</b><b>7</b></a><a><c>x</c></a></root>`
+	views := []string{
+		`//a{ID}//b{ID,val}`,
+		`//root{ID,cont}/a{ID}`,
+		`//a{ID}[//b]`,
+	}
+	for _, stmts := range [][]string{
+		{`replace /root/a/b with <b>9</b>`},
+		{`replace //c with <b>new</b><d/>`, `insert <c/> into /root/a`},
+		{`delete /root/a/b`, `replace //a/c with <c>y</c>`},
+	} {
+		d1, d2 := mustDoc(t, src), mustDoc(t, src)
+		e1, e2 := NewEngine(d1, Options{}), NewEngine(d2, Options{})
+		var m1, m2 []*ManagedView
+		for _, v := range views {
+			m1 = append(m1, addView(t, e1, v))
+			m2 = append(m2, addView(t, e2, v))
+		}
+		lz := NewLazy(e2)
+		for _, stmt := range stmts {
+			apply(t, e1, stmt)
+			if err := lz.Apply(update.MustParse(stmt)); err != nil {
+				t.Fatalf("lazy Apply(%q): %v", stmt, err)
+			}
+		}
+		if _, err := lz.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range views {
+			if !m2[i].View.EqualRows(m1[i].View.Rows()) {
+				t.Fatalf("view %s after %v: lazy %s\n eager %s", views[i], stmts,
+					dumpRows(m2[i].View.Rows()), dumpRows(m1[i].View.Rows()))
+			}
+			if !e2.CheckView(m2[i]) {
+				t.Fatalf("view %s after %v: lazy diverged from recomputation", views[i], stmts)
+			}
+		}
+	}
+}
+
+// TestLazyRootLevelDelete: deleting direct children of the document root in
+// deferred mode must refresh stored val/cont of the root itself (the touch
+// point is the root's ID — the deleted nodes' parent).
+func TestLazyRootLevelDelete(t *testing.T) {
+	d := mustDoc(t, `<root><a>x</a><b/><a>y</a></root>`)
+	e := NewEngine(d, Options{})
+	mv := addView(t, e, `//root{ID,val,cont}`)
+	lz := NewLazy(e)
+	if err := lz.Apply(update.MustParse(`delete /root/a`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lz.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows := mv.View.Rows()
+	if len(rows) != 1 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	en := rows[0].Entries[0]
+	if en.Val != "" || strings.Contains(en.Cont, "<a>") {
+		t.Fatalf("root val/cont not refreshed after root-level delete: val=%q cont=%q", en.Val, en.Cont)
+	}
+	if !e.CheckView(mv) {
+		t.Fatal("diverged from recomputation")
+	}
+}
+
+// TestLazyReplaceInsertedChurn: a subtree inserted and then replaced inside
+// one batch composes via the net-effect flush.
+func TestLazyReplaceInsertedChurn(t *testing.T) {
+	d := mustDoc(t, `<root><a><b/></a></root>`)
+	e := NewEngine(d, Options{})
+	mv := addView(t, e, `//a{ID}[//b]`)
+	lz := NewLazy(e)
+	for _, stmt := range []string{
+		`insert <c><b/></c> into /root/a`,
+		`replace /root/a/c with <d/>`,
+	} {
+		if err := lz.Apply(update.MustParse(stmt)); err != nil {
+			t.Fatalf("%q: %v", stmt, err)
+		}
+	}
+	if _, err := lz.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.CheckView(mv) {
+		t.Fatal("diverged from recomputation")
+	}
+}
+
+// TestFullRecomputeReplace: the baseline accepts replace statements.
+func TestFullRecomputeReplace(t *testing.T) {
+	src := `<root><a><b>5</b></a></root>`
+	d1, d2 := mustDoc(t, src), mustDoc(t, src)
+	e1, e2 := NewEngine(d1, Options{}), NewEngine(d2, Options{})
+	mv1 := addView(t, e1, `//a{ID}//b{ID,val}`)
+	mv2 := addView(t, e2, `//a{ID}//b{ID,val}`)
+	stmt := `replace /root/a/b with <b>9</b><b>11</b>`
+	apply(t, e1, stmt)
+	if _, err := e2.FullRecompute(update.MustParse(stmt)); err != nil {
+		t.Fatal(err)
+	}
+	if !mv1.View.EqualRows(mv2.View.Rows()) {
+		t.Fatal("baseline and incremental disagree on replace")
 	}
 }
 

@@ -1,0 +1,190 @@
+package difftest
+
+import (
+	"fmt"
+
+	"xivm/internal/algebra"
+	"xivm/internal/core"
+	"xivm/internal/obs"
+	"xivm/internal/pattern"
+	"xivm/internal/store"
+	"xivm/internal/update"
+	"xivm/internal/xmark"
+	"xivm/internal/xmltree"
+)
+
+// Config selects one maintenance path through the engine.
+type Config struct {
+	Name           string
+	Policy         core.Policy
+	Parallel       bool
+	SharedSnowcaps bool
+	// LazyEvery > 0 runs deferred propagation, flushing (and checking)
+	// every LazyEvery statements plus once at the end. 0 is eager.
+	LazyEvery     int
+	NoDataPruning bool
+	NoIDPruning   bool
+	// IVMA maintains with the node-at-a-time competitor instead. IVMA
+	// never revisits rows whose stored val/cont silently changed under a
+	// surviving ancestor (it has no PDMT-style refresh), so views are
+	// stripped to ID-only annotations and replace statements (which it
+	// does not implement) are skipped.
+	IVMA bool
+}
+
+// Matrix is the full configuration matrix the differential tests sweep:
+// every policy, deferred batches of several sizes, parallel propagation,
+// shared snowcaps, both pruning ablations and the IVMA competitor.
+func Matrix() []Config {
+	return []Config{
+		{Name: "eager-snowcaps", Policy: core.PolicySnowcaps},
+		{Name: "eager-leaves", Policy: core.PolicyLeaves},
+		{Name: "eager-cost", Policy: core.PolicyCost},
+		{Name: "parallel", Policy: core.PolicySnowcaps, Parallel: true},
+		{Name: "shared-snowcaps", Policy: core.PolicySnowcaps, SharedSnowcaps: true},
+		{Name: "lazy-1", LazyEvery: 1},
+		{Name: "lazy-3", LazyEvery: 3},
+		{Name: "lazy-8", LazyEvery: 8},
+		{Name: "no-data-pruning", NoDataPruning: true},
+		{Name: "no-id-pruning", NoIDPruning: true},
+		{Name: "lazy-no-pruning", LazyEvery: 2, NoDataPruning: true, NoIDPruning: true},
+		{Name: "ivma", IVMA: true},
+	}
+}
+
+// Divergence describes one maintained state that differs from the oracle.
+type Divergence struct {
+	Config    string
+	Index     int    // statement index within the workload
+	Statement string // the statement after which the check failed
+	View      string // empty when the canonical relations diverged
+	Detail    string
+}
+
+func (d *Divergence) String() string {
+	where := "canonical relations"
+	if d.View != "" {
+		where = "view " + d.View
+	}
+	return fmt.Sprintf("[%s] %s diverged after statement %d (%s): %s",
+		d.Config, where, d.Index, d.Statement, d.Detail)
+}
+
+// Run executes the workload under one configuration, checking the oracle
+// after every statement (eager, IVMA) or every flush (lazy). It returns the
+// first divergence, or nil when every check passed. Statements whose target
+// path matches nothing are no-ops by construction; statements the engine
+// rejects (none in the vocabulary) are skipped.
+func Run(w Workload, cfg Config) *Divergence {
+	doc, err := xmltree.ParseString(w.Doc())
+	if err != nil {
+		panic("difftest: generated document does not parse: " + err.Error())
+	}
+	opts := []core.Option{core.WithPolicy(cfg.Policy), core.WithMetrics(obs.New())}
+	if cfg.Parallel {
+		opts = append(opts, core.WithParallel())
+	}
+	if cfg.SharedSnowcaps {
+		opts = append(opts, core.WithSharedSnowcaps())
+	}
+	if cfg.NoDataPruning {
+		opts = append(opts, core.WithoutDataPruning())
+	}
+	if cfg.NoIDPruning {
+		opts = append(opts, core.WithoutIDPruning())
+	}
+	e := core.New(doc, opts...)
+
+	var views []*core.ManagedView
+	for _, name := range xmark.ViewNames() {
+		p := xmark.View(name)
+		if cfg.IVMA {
+			p = idOnly(p)
+		}
+		mv, err := e.AddView(name, p)
+		if err != nil {
+			panic("difftest: AddView(" + name + "): " + err.Error())
+		}
+		views = append(views, mv)
+	}
+
+	var lz *core.Lazy
+	if cfg.LazyEvery > 0 {
+		lz = core.NewLazy(e)
+	}
+	var iv *core.IVMA
+	if cfg.IVMA {
+		iv = core.NewIVMA(e)
+	}
+
+	for i, src := range w.Statements {
+		st, err := update.Parse(src)
+		if err != nil {
+			continue
+		}
+		switch {
+		case lz != nil:
+			if err := lz.Apply(st); err != nil {
+				continue
+			}
+			if (i+1)%cfg.LazyEvery == 0 {
+				if _, err := lz.Flush(); err != nil {
+					return &Divergence{Config: cfg.Name, Index: i, Statement: src, Detail: "flush error: " + err.Error()}
+				}
+				if d := check(e, views, cfg, i, src); d != nil {
+					return d
+				}
+			}
+		case iv != nil:
+			if st.Kind == update.Replace {
+				continue
+			}
+			if _, err := iv.ApplyStatement(st); err != nil {
+				continue
+			}
+			if d := check(e, views, cfg, i, src); d != nil {
+				return d
+			}
+		default:
+			if _, err := e.ApplyStatement(st); err != nil {
+				continue
+			}
+			if d := check(e, views, cfg, i, src); d != nil {
+				return d
+			}
+		}
+	}
+	if lz != nil {
+		if _, err := lz.Flush(); err != nil {
+			return &Divergence{Config: cfg.Name, Index: len(w.Statements), Detail: "final flush error: " + err.Error()}
+		}
+		return check(e, views, cfg, len(w.Statements)-1, "<final flush>")
+	}
+	return nil
+}
+
+// check is the oracle: every maintained view must equal a fresh evaluation
+// over the (already mutated) document — algebra.Materialize walks the
+// document directly, independent of the possibly-corrupt store — and the
+// canonical relations must match a store rebuilt from scratch.
+func check(e *core.Engine, views []*core.ManagedView, cfg Config, i int, src string) *Divergence {
+	for _, mv := range views {
+		want := algebra.Materialize(e.Doc, mv.Pattern)
+		if !mv.View.EqualRows(want) {
+			return &Divergence{
+				Config: cfg.Name, Index: i, Statement: src, View: mv.Name,
+				Detail: fmt.Sprintf("maintained %d rows, recompute %d rows", mv.View.Len(), len(want)),
+			}
+		}
+	}
+	if diff := store.DiffStores(e.Store, store.New(e.Doc)); diff != "" {
+		return &Divergence{Config: cfg.Name, Index: i, Statement: src, Detail: diff}
+	}
+	return nil
+}
+
+// idOnly strips val/cont annotations, keeping stored IDs: the only layout
+// IVMA's node-at-a-time propagation maintains faithfully.
+func idOnly(p *pattern.Pattern) *pattern.Pattern {
+	return p.Clone(func(i int, s pattern.Store) pattern.Store { return s & pattern.StoreID })
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+
+	"xivm/internal/algebra"
+)
+
+// DiffStores compares the canonical relations of two stores and returns a
+// human-readable description of the first difference, or "" when the stores
+// index the same node set. It is the oracle check used by the differential
+// harness (internal/difftest): after a workload, the maintained store must
+// match a store rebuilt from scratch over the mutated document. Items are
+// compared by structural ID — node pointers may legitimately differ (e.g.
+// the IVMA competitor registers detached single-node copies).
+func DiffStores(got, want *Store) string {
+	gl, wl := got.Labels(), want.Labels()
+	if d := diffLabelSets(gl, wl); d != "" {
+		return d
+	}
+	for _, label := range wl {
+		g, w := got.rels[label], want.rels[label]
+		if d := diffItems("R_"+label, g, w); d != "" {
+			return d
+		}
+	}
+	return diffItems("elements", got.elems, want.elems)
+}
+
+func diffLabelSets(got, want []string) string {
+	g := make(map[string]bool, len(got))
+	for _, l := range got {
+		g[l] = true
+	}
+	w := make(map[string]bool, len(want))
+	for _, l := range want {
+		w[l] = true
+		if !g[l] {
+			return fmt.Sprintf("relation R_%s missing", l)
+		}
+	}
+	for _, l := range got {
+		if !w[l] {
+			return fmt.Sprintf("stale relation R_%s", l)
+		}
+	}
+	return ""
+}
+
+// diffItems compares two document-ordered item lists by ID.
+func diffItems(name string, got, want []algebra.Item) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("%s: %d items, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].ID.Equal(want[i].ID) {
+			return fmt.Sprintf("%s[%d]: ID %v, want %v", name, i, got[i].ID, want[i].ID)
+		}
+	}
+	return ""
+}

@@ -84,8 +84,26 @@ func (s *Store) Items(label string) []algebra.Item {
 	return s.rels[label]
 }
 
-// Count returns |R_label|.
-func (s *Store) Count(label string) int { return len(s.Items(label)) }
+// Count returns |R_label| without materializing the relation: word labels
+// are counted with a single pass over the text relation (no allocation, one
+// scan recorded); every other label is a length lookup.
+func (s *Store) Count(label string) int {
+	if word, isWord := strings.CutPrefix(label, "~"); isWord {
+		s.scanCount.Inc()
+		s.scanItems.Add(int64(len(s.rels[xmltree.TextLabel])))
+		n := 0
+		for _, it := range s.rels[xmltree.TextLabel] {
+			if it.Node != nil && it.Node.MatchesWord(word) {
+				n++
+			}
+		}
+		return n
+	}
+	if label == "*" {
+		return len(s.elems)
+	}
+	return len(s.rels[label])
+}
 
 // Inputs assembles σ-filtered per-node inputs for a pattern from the
 // canonical relations.
@@ -158,6 +176,27 @@ func mergeSorted(a, b []algebra.Item) []algebra.Item {
 	return append(out, b[j:]...)
 }
 
+// AddNode registers exactly one node in the canonical relations, ignoring
+// its subtree — the node-at-a-time path IVMA maintains. The item points at
+// the live node, so σ predicates evaluate against real values.
+func (s *Store) AddNode(n *xmltree.Node) {
+	it := []algebra.Item{{ID: n.ID, Node: n}}
+	s.rels[n.Label] = mergeSorted(s.rels[n.Label], it)
+	if n.Kind == xmltree.Element {
+		s.elems = mergeSorted(s.elems, it)
+	}
+}
+
+// RemoveNode drops exactly one node from the canonical relations, leaving
+// its subtree's entries to their own removals.
+func (s *Store) RemoveNode(n *xmltree.Node) {
+	gone := map[string]bool{n.ID.Key(): true}
+	s.rels[n.Label] = filterOut(s.rels[n.Label], gone)
+	if n.Kind == xmltree.Element {
+		s.elems = filterOut(s.elems, gone)
+	}
+}
+
 // RemoveSubtree drops every node of a detached subtree from the canonical
 // relations, filtering each touched relation in one pass.
 func (s *Store) RemoveSubtree(n *xmltree.Node) {
@@ -201,9 +240,26 @@ func (s *Store) RemoveSubtrees(roots []*xmltree.Node) {
 	}
 }
 
+// filterOut returns items minus the gone keys. It must NOT compact the
+// input in place: Items() hands the backing array out by reference, so
+// previously returned slices (delta inputs, Mat fills, concurrent readers
+// under parallel propagation) have to keep seeing their original contents.
+// When nothing is removed the input is returned as is; otherwise the
+// survivors are copied into a fresh slice.
 func filterOut(items []algebra.Item, gone map[string]bool) []algebra.Item {
-	out := items[:0]
-	for _, it := range items {
+	first := -1
+	for i, it := range items {
+		if gone[it.ID.Key()] {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return items
+	}
+	out := make([]algebra.Item, first, len(items)-1)
+	copy(out, items[:first])
+	for _, it := range items[first+1:] {
 		if !gone[it.ID.Key()] {
 			out = append(out, it)
 		}

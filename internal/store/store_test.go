@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"testing"
 
 	"xivm/internal/algebra"
@@ -68,6 +69,139 @@ func TestAddRemoveSubtree(t *testing.T) {
 	s.RemoveSubtree(removed)
 	if s.Count("b") != 4 || s.Count("c") != 2 {
 		t.Fatalf("after delete: b=%d c=%d", s.Count("b"), s.Count("c"))
+	}
+}
+
+// TestItemsStableAcrossRemove is the regression test for the store-aliasing
+// bug: Items() hands out the relation's backing array by reference, so a
+// subsequent delete must not compact that array in place — a caller holding
+// the slice (a delta input, a Mat fill, the lazy batch's rIn) would silently
+// read corrupted items.
+func TestItemsStableAcrossRemove(t *testing.T) {
+	d := mustDoc(t, doc1)
+	s := New(d)
+	held := s.Items("b")
+	if len(held) != 4 {
+		t.Fatalf("|R_b| = %d", len(held))
+	}
+	snapshot := make([]algebra.Item, len(held))
+	copy(snapshot, held)
+
+	// Delete the first c subtree (removes b1, b2 from R_b).
+	target := d.Root.ElementChildren()[0]
+	removed, err := d.ApplyDelete(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveSubtrees([]*xmltree.Node{removed})
+
+	if got := s.Count("b"); got != 2 {
+		t.Fatalf("|R_b| after delete = %d", got)
+	}
+	for i := range snapshot {
+		if !held[i].ID.Equal(snapshot[i].ID) {
+			t.Fatalf("held Items() slice mutated at %d: %v, want %v (in-place compaction)",
+				i, held[i].ID, snapshot[i].ID)
+		}
+	}
+	// The relation also stays self-consistent: elements list untouched for
+	// readers holding it.
+	heldElems := s.Items("*")
+	elemSnap := make([]algebra.Item, len(heldElems))
+	copy(elemSnap, heldElems)
+	removed2, err := d.ApplyDelete(d.Root.ElementChildren()[0]) // the f subtree
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveSubtrees([]*xmltree.Node{removed2})
+	for i := range elemSnap {
+		if !heldElems[i].ID.Equal(elemSnap[i].ID) {
+			t.Fatalf("held elements slice mutated at %d", i)
+		}
+	}
+}
+
+// TestParallelReadDuringRemove deletes subtrees while concurrent readers
+// iterate previously returned Items() slices — the WithParallel() data-race
+// scenario. Run under -race this fails against in-place compaction.
+func TestParallelReadDuringRemove(t *testing.T) {
+	d := mustDoc(t, `<a><c><b>1</b><b>2</b></c><c><b>3</b></c><c><b>4</b></c><c><b>5</b></c></a>`)
+	s := New(d)
+	held := s.Items("b")
+	heldText := s.Items("#text")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, it := range held {
+				_ = it.ID.Key()
+			}
+			for _, it := range heldText {
+				_ = it.Node.StringValue()
+			}
+		}
+	}()
+	for _, c := range d.Root.ElementChildren() {
+		removed, err := d.ApplyDelete(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RemoveSubtrees([]*xmltree.Node{removed})
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Count("b"); got != 0 {
+		t.Fatalf("|R_b| = %d after deleting everything", got)
+	}
+}
+
+// TestCountWordNoAlloc: Count("~word") must answer without materializing
+// the filtered item list.
+func TestCountWordNoAlloc(t *testing.T) {
+	d := mustDoc(t, `<r><t>gold ring</t><t>old gold</t><t>silver</t></r>`)
+	s := New(d)
+	if got := s.Count("~gold"); got != 2 {
+		t.Fatalf(`Count("~gold") = %d`, got)
+	}
+	if got := s.Count("~silver"); got != 1 {
+		t.Fatalf(`Count("~silver") = %d`, got)
+	}
+	if got := s.Count("~missing"); got != 0 {
+		t.Fatalf(`Count("~missing") = %d`, got)
+	}
+	allocs := testing.AllocsPerRun(20, func() { s.Count("~gold") })
+	if allocs > 0 {
+		t.Fatalf("Count(~word) allocates %.0f objects per call", allocs)
+	}
+	// Items("~word") still materializes (and still works).
+	if got := len(s.Items("~gold")); got != 2 {
+		t.Fatalf(`Items("~gold") = %d`, got)
+	}
+}
+
+func TestDiffStores(t *testing.T) {
+	d1 := mustDoc(t, doc1)
+	d2 := mustDoc(t, doc1)
+	s1, s2 := New(d1), New(d2)
+	if diff := DiffStores(s1, s2); diff != "" {
+		t.Fatalf("identical stores diff: %s", diff)
+	}
+	// Desync: remove a subtree from one store only.
+	removed, err := d1.ApplyDelete(d1.Root.ElementChildren()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.RemoveSubtrees([]*xmltree.Node{removed})
+	if diff := DiffStores(s1, s2); diff == "" {
+		t.Fatal("desynced stores reported equal")
 	}
 }
 

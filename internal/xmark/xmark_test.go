@@ -32,6 +32,33 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateSmall: the differential-testing generator is deterministic,
+// seed-sensitive, small, and yields documents every benchmark view accepts.
+func TestGenerateSmall(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		src := GenerateSmall(seed)
+		if src != GenerateSmall(seed) {
+			t.Fatalf("seed %d: not deterministic", seed)
+		}
+		if len(src) > 32<<10 {
+			t.Fatalf("seed %d: %d bytes is not small", seed, len(src))
+		}
+		d, err := xmltree.ParseString(src)
+		if err != nil {
+			t.Fatalf("seed %d: does not parse: %v", seed, err)
+		}
+		e := core.NewEngine(d, core.Options{})
+		for _, name := range ViewNames() {
+			if _, err := e.AddView(name, View(name)); err != nil {
+				t.Fatalf("seed %d view %s: %v", seed, name, err)
+			}
+		}
+	}
+	if GenerateSmall(1) == GenerateSmall(2) {
+		t.Fatal("seed has no effect")
+	}
+}
+
 func TestGenerateSizeScaling(t *testing.T) {
 	small := len(Generate(Config{TargetBytes: 50 << 10, Seed: 1}))
 	large := len(Generate(Config{TargetBytes: 500 << 10, Seed: 1}))
