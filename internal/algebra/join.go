@@ -35,18 +35,19 @@ func StructuralJoin(left Block, lIdx int, right Block, rIdx int, desc bool) Bloc
 	for _, rt := range right.Tuples {
 		id := rt.Items[rCol].ID
 		if desc {
+			// Candidate ancestors are the frame-aligned prefixes of the
+			// right binding's cached key: probe each level's prefix directly,
+			// no ancestor ID construction and no key allocation.
 			for lvl := 1; lvl < id.Level(); lvl++ {
-				anc := id.AncestorAt(lvl)
-				for _, li := range index[anc.Key()] {
+				for _, li := range index[id.KeyAt(lvl)] {
 					emit(li, rt)
 				}
 			}
 		} else {
-			p := id.Parent()
-			if p.IsNull() {
+			if id.Level() <= 1 {
 				continue
 			}
-			for _, li := range index[p.Key()] {
+			for _, li := range index[id.KeyAt(id.Level()-1)] {
 				emit(li, rt)
 			}
 		}

@@ -95,14 +95,31 @@ type RowEntry struct {
 
 // Key returns the row's identity: the concatenated ID keys of its entries.
 // Two embeddings that agree on all stored nodes produce the same key and
-// their derivation counts accumulate.
+// their derivation counts accumulate. The IDs' cached keys make this a
+// single exact-size allocation; dedup loops that only probe should use
+// AppendKey with a reused buffer instead.
 func (r Row) Key() string {
+	n := len(r.Entries)
+	for _, e := range r.Entries {
+		n += len(e.ID.Key())
+	}
 	var b strings.Builder
+	b.Grow(n)
 	for _, e := range r.Entries {
 		b.WriteString(e.ID.Key())
 		b.WriteByte(0xFF)
 	}
 	return b.String()
+}
+
+// AppendKey appends the row's identity key to buf and returns the extended
+// slice, letting hot dedup paths build map-probe keys without allocating.
+func (r Row) AppendKey(buf []byte) []byte {
+	for _, e := range r.Entries {
+		buf = append(buf, e.ID.Key()...)
+		buf = append(buf, 0xFF)
+	}
+	return buf
 }
 
 // ProjectStored projects full-width tuples onto the pattern's stored nodes,
@@ -141,8 +158,9 @@ func projectBlock(p *pattern.Pattern, b Block, indexes []int, doc *xmltree.Docum
 		}
 		cols[i] = c
 	}
-	byKey := map[string]int{}
+	byKey := make(map[string]int, len(b.Tuples))
 	var rows []Row
+	var keyBuf []byte
 	for _, t := range b.Tuples {
 		row := Row{Entries: make([]RowEntry, len(indexes)), Count: t.Count}
 		for i, idx := range indexes {
@@ -165,12 +183,12 @@ func projectBlock(p *pattern.Pattern, b Block, indexes []int, doc *xmltree.Docum
 			}
 			row.Entries[i] = e
 		}
-		k := row.Key()
-		if at, ok := byKey[k]; ok {
+		keyBuf = row.AppendKey(keyBuf[:0])
+		if at, ok := byKey[string(keyBuf)]; ok {
 			rows[at].Count += row.Count
 			pc.Merged.Inc()
 		} else {
-			byKey[k] = len(rows)
+			byKey[string(keyBuf)] = len(rows)
 			rows = append(rows, row)
 		}
 	}

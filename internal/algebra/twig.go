@@ -182,14 +182,22 @@ func (t *twig) merge() []Tuple {
 				fresh = append(fresh, c)
 			}
 		}
-		index := map[string][]int{}
+		// Composite join keys are assembled in one reused []byte buffer from
+		// the IDs' cached keys (positions precomputed once per path, not per
+		// tuple); a string is only materialized for map inserts.
+		lpos := positionsOf(cols, shared)
+		rpos := positionsOf(chain, shared)
+		index := make(map[string][]int, len(tuples))
+		var buf []byte
 		for i, tp := range tuples {
-			index[keyFor(cols, tp, shared)] = append(index[keyFor(cols, tp, shared)], i)
+			buf = appendItemsKey(buf[:0], tp, lpos)
+			k := string(buf)
+			index[k] = append(index[k], i)
 		}
 		var next [][]Item
 		for _, sol := range t.paths[li] {
-			k := keyForChain(chain, sol, shared)
-			for _, ti := range index[k] {
+			buf = appendItemsKey(buf[:0], sol, rpos)
+			for _, ti := range index[string(buf)] {
 				merged := append(append([]Item{}, tuples[ti]...), pickChain(chain, sol, fresh)...)
 				next = append(next, merged)
 			}
@@ -222,20 +230,23 @@ func indexOf(cols []int, c int) int {
 	return -1
 }
 
-func keyFor(cols []int, tp []Item, shared []int) string {
-	s := ""
-	for _, c := range shared {
-		s += tp[indexOf(cols, c)].ID.Key() + "\xff"
+// positionsOf maps each wanted pattern-node index to its column position.
+func positionsOf(cols []int, wanted []int) []int {
+	out := make([]int, len(wanted))
+	for i, c := range wanted {
+		out[i] = indexOf(cols, c)
 	}
-	return s
+	return out
 }
 
-func keyForChain(chain []int, sol []Item, shared []int) string {
-	s := ""
-	for _, c := range shared {
-		s += sol[indexOf(chain, c)].ID.Key() + "\xff"
+// appendItemsKey appends the composite key of the items at the given
+// positions: cached ID keys joined by a separator no valid key starts with.
+func appendItemsKey(buf []byte, items []Item, pos []int) []byte {
+	for _, p := range pos {
+		buf = append(buf, items[p].ID.Key()...)
+		buf = append(buf, 0xff)
 	}
-	return s
+	return buf
 }
 
 func pickChain(chain []int, sol []Item, fresh []int) []Item {

@@ -140,7 +140,7 @@ func (e *Engine) modifyTuplesAfterDelete(mv *ManagedView, applied *update.Applie
 	for _, root := range applied.DeletedRoots {
 		id := root.ID
 		for lvl := id.Level() - 1; lvl >= 1; lvl-- {
-			affected[id.AncestorAt(lvl).Key()] = true
+			affected[id.KeyAt(lvl)] = true
 		}
 	}
 	var dirty []string

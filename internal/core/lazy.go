@@ -259,7 +259,7 @@ func (l *Lazy) refreshTouched(mv *ManagedView) {
 	affected := map[string]bool{}
 	for _, id := range l.touched {
 		for lvl := id.Level(); lvl >= 1; lvl-- {
-			affected[id.AncestorAt(lvl).Key()] = true
+			affected[id.KeyAt(lvl)] = true
 		}
 	}
 	var dirty []string

@@ -27,7 +27,7 @@ func (c *Cover) Contains(id ID) bool {
 		return false
 	}
 	for lvl := id.Level(); lvl >= 1; lvl-- {
-		if c.keys[id.AncestorAt(lvl).Key()] {
+		if c.keys[id.KeyAt(lvl)] {
 			return true
 		}
 	}
@@ -41,7 +41,7 @@ func (c *Cover) ContainsStrict(id ID) bool {
 		return false
 	}
 	for lvl := id.Level() - 1; lvl >= 1; lvl-- {
-		if c.keys[id.AncestorAt(lvl).Key()] {
+		if c.keys[id.KeyAt(lvl)] {
 			return true
 		}
 	}

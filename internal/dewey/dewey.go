@@ -10,26 +10,42 @@ import (
 type Step struct {
 	Label string
 	Ord   Ord
+	end   int // offset in the cached key just past this step's frame
 }
 
 // ID is a Compact Dynamic Dewey identifier: the sequence of steps from the
 // document root down to the node. The zero value is the "null" ID, which
 // identifies no node; it compares before every real ID.
+//
+// Every ID carries a cached order-preserving binary key (see key.go)
+// computed once at construction, so Compare/Equal/IsAncestorOf/Key are
+// single string operations with zero allocation.
 type ID struct {
 	steps []Step
+	key   string
 }
 
 // NewRoot returns the ID of a document root labeled label.
 func NewRoot(label string) ID {
-	return ID{steps: []Step{{Label: label, Ord: Ord{Gap}}}}
+	return newID([]Step{{Label: label, Ord: Ord{Gap}}})
 }
 
 // Child returns the ID of a child of id with the given label and ordinal.
+// The child's key extends the parent's cached key by one frame; the frame is
+// staged in a stack buffer and the key assembled in an exact-size Builder, so
+// the whole construction costs one step-slice and one string allocation.
 func (id ID) Child(label string, ord Ord) ID {
 	steps := make([]Step, len(id.steps)+1)
 	copy(steps, id.steps)
-	steps[len(id.steps)] = Step{Label: label, Ord: ord}
-	return ID{steps: steps}
+	var tmp [64]byte
+	frame := appendFrame(tmp[:0], label, ord)
+	var sb strings.Builder
+	sb.Grow(len(id.key) + len(frame))
+	sb.WriteString(id.key)
+	sb.Write(frame)
+	key := sb.String()
+	steps[len(id.steps)] = Step{Label: label, Ord: ord, end: len(key)}
+	return ID{steps: steps, key: key}
 }
 
 // IsNull reports whether id is the zero (null) ID.
@@ -52,20 +68,24 @@ func (id ID) Step(i int) Step { return id.steps[i] }
 
 // Parent returns the ID of the node's parent (the Path Navigate primitive of
 // the paper). The parent of the root — and of the null ID — is the null ID.
+// Both the step slice and the cached key are shared sub-slices: no
+// allocation.
 func (id ID) Parent() ID {
 	if len(id.steps) <= 1 {
 		return ID{}
 	}
-	return ID{steps: id.steps[:len(id.steps)-1]}
+	n := len(id.steps) - 1
+	return ID{steps: id.steps[:n], key: id.key[:id.steps[n-1].end]}
 }
 
-// AncestorAt returns the ancestor ID at the given level (1 = root). It
-// panics if level is out of range.
+// AncestorAt returns the ancestor ID at the given level (1 = root), sharing
+// the receiver's backing storage (no allocation). It panics if level is out
+// of range.
 func (id ID) AncestorAt(level int) ID {
 	if level < 1 || level > len(id.steps) {
 		panic("dewey: AncestorAt level out of range")
 	}
-	return ID{steps: id.steps[:level]}
+	return ID{steps: id.steps[:level], key: id.key[:id.steps[level-1].end]}
 }
 
 // Ancestors returns the IDs of all proper ancestors, from the root down to
@@ -77,7 +97,7 @@ func (id ID) Ancestors() []ID {
 	}
 	out := make([]ID, 0, len(id.steps)-1)
 	for i := 1; i < len(id.steps); i++ {
-		out = append(out, ID{steps: id.steps[:i]})
+		out = append(out, id.AncestorAt(i))
 	}
 	return out
 }
@@ -93,46 +113,22 @@ func (id ID) LabelPath() []string {
 
 // Compare orders IDs in document order (preorder): an ancestor sorts before
 // its descendants, and siblings sort by ordinal. It returns -1, 0 or +1.
+// The cached keys are order-isomorphic to the step-wise comparison (ordinal
+// first, then — defensively — label, per level), so this is one string
+// comparison.
 func (id ID) Compare(other ID) int {
-	n := len(id.steps)
-	if len(other.steps) < n {
-		n = len(other.steps)
-	}
-	for i := 0; i < n; i++ {
-		if c := id.steps[i].Ord.Compare(other.steps[i].Ord); c != 0 {
-			return c
-		}
-		// Equal ordinals at the same level under the same parent means the
-		// same node, so labels must agree; compare defensively anyway.
-		if c := strings.Compare(id.steps[i].Label, other.steps[i].Label); c != 0 {
-			return c
-		}
-	}
-	switch {
-	case len(id.steps) < len(other.steps):
-		return -1
-	case len(id.steps) > len(other.steps):
-		return 1
-	}
-	return 0
+	return strings.Compare(id.key, other.key)
 }
 
 // Equal reports whether two IDs identify the same node.
-func (id ID) Equal(other ID) bool { return id.Compare(other) == 0 }
+func (id ID) Equal(other ID) bool { return id.key == other.key }
 
 // IsAncestorOf reports whether id ≺≺ other: id identifies a proper ancestor
-// of the node identified by other.
+// of the node identified by other. Thanks to the frame-aligned key encoding
+// this is a single prefix check.
 func (id ID) IsAncestorOf(other ID) bool {
-	if id.IsNull() || len(id.steps) >= len(other.steps) {
-		return false
-	}
-	for i, s := range id.steps {
-		o := other.steps[i]
-		if s.Label != o.Label || !s.Ord.Equal(o.Ord) {
-			return false
-		}
-	}
-	return true
+	return len(id.steps) > 0 && len(id.key) < len(other.key) &&
+		other.key[:len(id.key)] == id.key
 }
 
 // IsParentOf reports whether id ≺ other: id identifies the parent of the
@@ -217,26 +213,18 @@ func utoa(v uint64) string {
 	return string(buf[i:])
 }
 
-// Key returns a compact string usable as a map key, unique per node. The
-// encoding is length-prefixed and therefore injective.
-func (id ID) Key() string {
-	var b strings.Builder
-	putVarint(&b, uint64(len(id.steps)))
-	for _, s := range id.steps {
-		putVarint(&b, uint64(len(s.Label)))
-		b.WriteString(s.Label)
-		putVarint(&b, uint64(len(s.Ord)))
-		for _, c := range s.Ord {
-			putVarint(&b, c)
-		}
-	}
-	return b.String()
-}
+// Key returns the cached binary key: a compact string usable as a map key,
+// unique per node (the frame encoding is injective), whose byte order equals
+// document order. Zero allocation — the string is computed at construction.
+func (id ID) Key() string { return id.key }
 
-func putVarint(b *strings.Builder, v uint64) {
-	for v >= 0x80 {
-		b.WriteByte(byte(v) | 0x80)
-		v >>= 7
+// KeyAt returns Key() of the ancestor at the given level (1 = root) without
+// constructing the ancestor ID: frames align, so it is a shared key prefix.
+// Hash probes over ancestor keys (structural joins, covers, affected sets)
+// use this to stay allocation-free. It panics if level is out of range.
+func (id ID) KeyAt(level int) string {
+	if level < 1 || level > len(id.steps) {
+		panic("dewey: KeyAt level out of range")
 	}
-	b.WriteByte(byte(v))
+	return id.key[:id.steps[level-1].end]
 }

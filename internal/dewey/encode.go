@@ -89,5 +89,5 @@ func Decode(d *Dict, src []byte) (ID, int, error) {
 		}
 		steps = append(steps, Step{Label: label, Ord: ord})
 	}
-	return ID{steps: steps}, pos, nil
+	return newID(steps), pos, nil
 }

@@ -1,0 +1,100 @@
+package dewey
+
+import "math/bits"
+
+// This file implements the cached, order-preserving binary key carried by
+// every ID. The key is computed once at construction (NewRoot/Child/Decode)
+// and makes the engine's hottest ID operations single string ops:
+//
+//	bytes order        Compare(a,b) == strings.Compare(a.key, b.key)
+//	identity           Equal(a,b)   == (a.key == b.key)
+//	ancestorship       IsAncestorOf(a,b) == a.key is a proper prefix of b.key
+//	map keys           Key() returns the cached string, zero allocation
+//
+// Layout: the key is the concatenation of one FRAME per step. A frame is
+//
+//	component*  ordEnd  escaped-label  0x00 frameEnd
+//
+// where each ordinal component is encoded as a lead byte 0x01+n followed by
+// the n big-endian bytes of its value with leading zeros stripped (n is
+// minimal, so the encoding is canonical and lead bytes order first by byte
+// length, then bytes order by magnitude); ordEnd is a single 0x00 byte; and
+// the label has every 0x00 byte escaped as 0x00 0xFF before the 0x00 0x01
+// terminator.
+//
+// Why this is order-isomorphic to ID.Compare:
+//
+//   - Components: shorter-big-endian means smaller value, so the 0x01+n lead
+//     byte decides first; equal leads fall through to the big-endian bytes.
+//   - Ordinal prefixes: a strict prefix ordinal emits ordEnd (0x00) where its
+//     extension emits a component lead byte (>= 0x01), so prefixes sort
+//     first — exactly Ord.Compare's missing-components-are-minus-infinity.
+//   - Labels: the 0x00 0x01 terminator sorts before both escaped zeros
+//     (0x00 0xFF) and every plain label byte, so prefix labels sort first
+//     and everything else compares bytewise, matching strings.Compare.
+//   - Steps: an ID whose steps are a strict prefix of another's produces a
+//     strict key prefix, which bytes-compares first — ancestors precede
+//     descendants in document order.
+//
+// Why prefix-check equals ancestorship: frames are self-delimiting, so a
+// deterministic left-to-right parse of any valid key recovers its steps.
+// If a.key is a prefix of b.key, parsing b.key consumes exactly a's frames
+// first, hence a's steps are a step-prefix of b's. Because no valid frame
+// byte sequence can resume mid-frame, prefixes always align on frame
+// boundaries. The same determinism makes the whole encoding injective.
+const (
+	ordEnd      = 0x00 // terminates a step's ordinal vector
+	labelEscLit = 0xFF // 0x00 0xFF inside a label encodes a literal 0x00
+	frameEnd    = 0x01 // 0x00 0x01 terminates a step's label (and frame)
+)
+
+// appendComponent appends the order-preserving encoding of one ordinal
+// component: lead byte 0x01+n, then the n big-endian significant bytes.
+func appendComponent(dst []byte, v uint64) []byte {
+	n := (bits.Len64(v) + 7) / 8
+	dst = append(dst, byte(0x01+n))
+	for i := n - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*uint(i))))
+	}
+	return dst
+}
+
+// appendFrame appends one step's frame.
+func appendFrame(dst []byte, label string, ord Ord) []byte {
+	for _, c := range ord {
+		dst = appendComponent(dst, c)
+	}
+	dst = append(dst, ordEnd)
+	for i := 0; i < len(label); i++ {
+		if b := label[i]; b == 0x00 {
+			dst = append(dst, 0x00, labelEscLit)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return append(dst, 0x00, frameEnd)
+}
+
+// frameCap upper-bounds the encoded size of one frame (components are at
+// most lead+8 bytes; the +2 per label byte covers pathological 0x00s).
+func frameCap(label string, ord Ord) int {
+	return 9*len(ord) + 1 + 2*len(label) + 2
+}
+
+// newID builds an ID from steps, computing the cached key and the per-step
+// frame-end offsets. It takes ownership of steps.
+func newID(steps []Step) ID {
+	if len(steps) == 0 {
+		return ID{}
+	}
+	cap := 0
+	for _, s := range steps {
+		cap += frameCap(s.Label, s.Ord)
+	}
+	buf := make([]byte, 0, cap)
+	for i := range steps {
+		buf = appendFrame(buf, steps[i].Label, steps[i].Ord)
+		steps[i].end = len(buf)
+	}
+	return ID{steps: steps, key: string(buf)}
+}

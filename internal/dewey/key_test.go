@@ -1,0 +1,215 @@
+package dewey
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// stepwiseCompare is the reference document-order comparison the cached key
+// must be order-isomorphic to: ordinal first, then label, level by level,
+// with step-prefixes (ancestors) first.
+func stepwiseCompare(a, b ID) int {
+	n := a.Level()
+	if b.Level() < n {
+		n = b.Level()
+	}
+	for i := 0; i < n; i++ {
+		sa, sb := a.Step(i), b.Step(i)
+		if c := sa.Ord.Compare(sb.Ord); c != 0 {
+			return c
+		}
+		if c := strings.Compare(sa.Label, sb.Label); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case a.Level() < b.Level():
+		return -1
+	case a.Level() > b.Level():
+		return 1
+	}
+	return 0
+}
+
+// stepwiseAncestor is the reference ≺≺ check.
+func stepwiseAncestor(a, b ID) bool {
+	if a.IsNull() || a.Level() >= b.Level() {
+		return false
+	}
+	for i := 0; i < a.Level(); i++ {
+		sa, sb := a.Step(i), b.Step(i)
+		if sa.Label != sb.Label || !sa.Ord.Equal(sb.Ord) {
+			return false
+		}
+	}
+	return true
+}
+
+// keyLabels deliberately includes empty, 0x00-bearing, 0x01/0xFF-bearing and
+// prefix-of-each-other labels to stress the escape and terminator bytes.
+var keyLabels = []string{
+	"a", "b", "ab", "", "person", "#text", "@id", "~gold",
+	"a\x00b", "a\x00", "\x00", "\x01", "a\x01", "\xff", "a\xffz", "日本",
+}
+
+// randOrdFor returns adversarial ordinals: single and multi component,
+// boundary values, and vectors that are strict prefixes of one another.
+func randOrdFor(r *rand.Rand) Ord {
+	vals := []uint64{0, 1, 2, Gap - 1, Gap, Gap + 1, 255, 256, 1 << 16, 1 << 32, ^uint64(0)}
+	n := 1 + r.Intn(3)
+	o := make(Ord, n)
+	for i := range o {
+		o[i] = vals[r.Intn(len(vals))]
+	}
+	return o
+}
+
+// randIDKey builds a random ID, sometimes branching off a prefix of a
+// previously built one so that ancestor/sibling relations actually occur.
+func randIDKey(r *rand.Rand, prev ID) ID {
+	var id ID
+	if !prev.IsNull() && r.Intn(2) == 0 {
+		id = prev.AncestorAt(1 + r.Intn(prev.Level()))
+	} else {
+		id = NewRoot(keyLabels[r.Intn(len(keyLabels))])
+	}
+	for depth := r.Intn(5); depth > 0; depth-- {
+		id = id.Child(keyLabels[r.Intn(len(keyLabels))], randOrdFor(r))
+	}
+	return id
+}
+
+func checkKeyProperties(t *testing.T, a, b ID) {
+	t.Helper()
+	if got, want := sign(bytes.Compare([]byte(a.Key()), []byte(b.Key()))), sign(stepwiseCompare(a, b)); got != want {
+		t.Fatalf("key order mismatch: bytes.Compare=%d stepwise=%d for %v / %v (%q / %q)",
+			got, want, a, b, a.Key(), b.Key())
+	}
+	if got, want := sign(a.Compare(b)), sign(stepwiseCompare(a, b)); got != want {
+		t.Fatalf("Compare mismatch: %d vs stepwise %d for %v / %v", got, want, a, b)
+	}
+	if a.Equal(b) != (stepwiseCompare(a, b) == 0) {
+		t.Fatalf("Equal mismatch for %v / %v", a, b)
+	}
+	prefix := !a.IsNull() && len(a.Key()) < len(b.Key()) && strings.HasPrefix(b.Key(), a.Key())
+	if anc := stepwiseAncestor(a, b); anc != prefix || anc != a.IsAncestorOf(b) {
+		t.Fatalf("ancestor mismatch: stepwise=%v prefix=%v IsAncestorOf=%v for %v / %v",
+			anc, prefix, a.IsAncestorOf(b), a, b)
+	}
+	// Injectivity: equal keys must mean structurally identical IDs.
+	if a.Key() == b.Key() && stepwiseCompare(a, b) != 0 {
+		t.Fatalf("key collision: %v vs %v share key %q", a, b, a.Key())
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestKeyOrderIsomorphic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var prev ID
+	for i := 0; i < 5000; i++ {
+		a := randIDKey(r, prev)
+		b := randIDKey(r, a)
+		prev = b
+		checkKeyProperties(t, a, b)
+		checkKeyProperties(t, b, a)
+		checkKeyProperties(t, a, a)
+	}
+}
+
+func TestKeyAtMatchesAncestorKeys(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		id := randIDKey(r, ID{})
+		for lvl := 1; lvl <= id.Level(); lvl++ {
+			anc := id.AncestorAt(lvl)
+			if got := id.KeyAt(lvl); got != anc.Key() {
+				t.Fatalf("KeyAt(%d)=%q != AncestorAt(%d).Key()=%q for %v", lvl, got, lvl, anc.Key(), id)
+			}
+		}
+		if !id.Parent().IsNull() && id.Parent().Key() != id.KeyAt(id.Level()-1) {
+			t.Fatalf("Parent key mismatch for %v", id)
+		}
+	}
+}
+
+func TestKeyAtPanicsOutOfRange(t *testing.T) {
+	id := NewRoot("a").Child("b", OrdAt(0))
+	for _, lvl := range []int{0, 3, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KeyAt(%d) did not panic", lvl)
+				}
+			}()
+			id.KeyAt(lvl)
+		}()
+	}
+}
+
+func TestNullIDKey(t *testing.T) {
+	var null ID
+	if null.Key() != "" {
+		t.Fatalf("null key = %q, want empty", null.Key())
+	}
+	root := NewRoot("a")
+	if !(null.Compare(root) < 0) {
+		t.Fatal("null must compare before every real ID")
+	}
+	if null.IsAncestorOf(root) {
+		t.Fatal("null must not be an ancestor of anything")
+	}
+}
+
+// FuzzKeyOrder drives the same properties from fuzzed build programs: each
+// byte pair appends one child step (label index, ordinal recipe), and a
+// split byte decides where the second ID branches off the first.
+func FuzzKeyOrder(f *testing.F) {
+	f.Add([]byte{0x00}, []byte{0x01, 0x02}, byte(0))
+	f.Add([]byte{0x10, 0x21, 0x32}, []byte{0x10, 0x21}, byte(2))
+	f.Add([]byte{0xff, 0x00, 0x7f}, []byte{0xfe, 0x01}, byte(1))
+	f.Fuzz(func(t *testing.T, pa, pb []byte, split byte) {
+		build := func(base ID, prog []byte) ID {
+			id := base
+			if id.IsNull() {
+				if len(prog) == 0 {
+					return NewRoot(keyLabels[0])
+				}
+				id = NewRoot(keyLabels[int(prog[0])%len(keyLabels)])
+				prog = prog[1:]
+			}
+			for _, pb := range prog {
+				label := keyLabels[int(pb>>4)%len(keyLabels)]
+				ord := Ord{uint64(pb&0x0f) * 3}
+				if pb&0x08 != 0 {
+					ord = append(ord, uint64(pb>>2))
+				}
+				id = id.Child(label, ord)
+			}
+			return id
+		}
+		a := build(ID{}, pa)
+		base := ID{}
+		if lvl := int(split) % (a.Level() + 1); lvl > 0 {
+			base = a.AncestorAt(lvl)
+		}
+		b := build(base, pb)
+		checkKeyProperties(t, a, b)
+		checkKeyProperties(t, b, a)
+		for lvl := 1; lvl <= a.Level(); lvl++ {
+			if a.KeyAt(lvl) != a.AncestorAt(lvl).Key() {
+				t.Fatalf("KeyAt(%d) mismatch for %v", lvl, a)
+			}
+		}
+	})
+}

@@ -1,8 +1,6 @@
 package store
 
 import (
-	"strings"
-
 	"xivm/internal/algebra"
 	"xivm/internal/dewey"
 	"xivm/internal/pattern"
@@ -13,11 +11,12 @@ import (
 // stored standalone (IDs only) so the structure could live on disk; live
 // node pointers are re-resolved through the document when needed.
 type Mat struct {
-	Mask  uint64
-	Cols  []int // pattern node indexes bound by each tuple column
-	byKey map[string]int
-	tups  []algebra.Tuple
-	size  int
+	Mask   uint64
+	Cols   []int // pattern node indexes bound by each tuple column
+	byKey  map[string]int
+	tups   []algebra.Tuple
+	size   int
+	keyBuf []byte // reused tuple-key scratch; Mat is not safe for concurrent mutation
 }
 
 // NewMat creates an empty materialization for the snowcap mask of p.
@@ -62,20 +61,20 @@ func permuteTuple(t algebra.Tuple, perm []int) algebra.Tuple {
 	return algebra.Tuple{Items: items, Count: t.Count}
 }
 
-func tupleKey(t algebra.Tuple) string {
-	var b strings.Builder
+func appendTupleKey(buf []byte, t algebra.Tuple) []byte {
 	for _, it := range t.Items {
-		b.WriteString(it.ID.Key())
-		b.WriteByte(0xFF)
+		buf = append(buf, it.ID.Key()...)
+		buf = append(buf, 0xFF)
 	}
-	return b.String()
+	return buf
 }
 
 // Add inserts a tuple (or accumulates its count) and reports whether it was
-// new.
+// new. The probe key is assembled in a reused buffer from the IDs' cached
+// keys; a string is only materialized when the tuple is genuinely new.
 func (m *Mat) Add(t algebra.Tuple) bool {
-	k := tupleKey(t)
-	if i, ok := m.byKey[k]; ok {
+	m.keyBuf = appendTupleKey(m.keyBuf[:0], t)
+	if i, ok := m.byKey[string(m.keyBuf)]; ok {
 		if m.tups[i].Count <= 0 {
 			m.tups[i] = t
 			m.size++
@@ -84,7 +83,7 @@ func (m *Mat) Add(t algebra.Tuple) bool {
 		m.tups[i].Count += t.Count
 		return false
 	}
-	m.byKey[k] = len(m.tups)
+	m.byKey[string(m.keyBuf)] = len(m.tups)
 	m.tups = append(m.tups, t)
 	m.size++
 	return true

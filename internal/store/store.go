@@ -7,6 +7,7 @@ package store
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"xivm/internal/algebra"
 	"xivm/internal/obs"
@@ -17,29 +18,47 @@ import (
 // Store indexes one document: it maintains the virtual canonical relation
 // R_a of every label a (the list of (ID,val,cont) tuples of a-labeled
 // nodes, in document order) as a sorted slice of items, plus the list of
-// all element nodes for wildcard pattern nodes.
+// all element nodes for wildcard pattern nodes, plus a lazily built
+// inverted word index serving "~word" relations without rescanning the
+// text relation on every access.
 type Store struct {
 	doc   *xmltree.Document
 	rels  map[string][]algebra.Item
 	elems []algebra.Item
 
+	// wordIdx caches, per word, the document-ordered text items containing
+	// it. Entries are built on first access and the whole index is dropped
+	// whenever a text node enters or leaves the canonical relations (word
+	// membership only ever changes through node insertion/removal — value
+	// replacement expands to delete+insert). Guarded by wordMu because
+	// parallel view propagation reads canonical relations concurrently.
+	wordMu  sync.RWMutex
+	wordIdx map[string][]algebra.Item
+
 	// Observability (nil counters are no-op sinks; see SetMetrics).
 	scanCount     *obs.Counter
 	scanItems     *obs.Counter
 	snapshotBytes *obs.Counter
+	wordHits      *obs.Counter
+	wordBuilds    *obs.Counter
 }
 
 // SetMetrics wires the store's counters into a registry:
 //
-//	store.scan.count     canonical-relation scans served
-//	store.scan.items     items handed out by those scans
-//	store.snapshot.bytes bytes produced by EncodeView
+//	store.scan.count      canonical-relation scans served
+//	store.scan.items      items handed out by those scans
+//	store.snapshot.bytes  bytes produced by EncodeView
+//	store.wordidx.hits    "~word" accesses served from the inverted index
+//	store.wordidx.builds  "~word" index entries built by scanning
 //
+// Word-index hits do not count as scans: no relation is traversed.
 // Call before concurrent use; a store without metrics records nothing.
 func (s *Store) SetMetrics(m *obs.Metrics) {
 	s.scanCount = m.Counter("store.scan.count")
 	s.scanItems = m.Counter("store.scan.items")
 	s.snapshotBytes = m.Counter("store.snapshot.bytes")
+	s.wordHits = m.Counter("store.wordidx.hits")
+	s.wordBuilds = m.Counter("store.wordidx.builds")
 }
 
 // New builds the canonical relations of doc.
@@ -62,47 +81,73 @@ func (s *Store) Doc() *xmltree.Document { return s.doc }
 // Items returns the canonical relation for a pattern label: "*" yields all
 // elements, "@name" attribute nodes, "#text" text nodes, "~word" the text
 // nodes containing that word, anything else the elements with that label.
-// The returned slice is shared (except for word labels); callers must not
+// Word relations are served from the inverted word index; after the first
+// access for a word (and until the next mutation of a text node) no scan of
+// the text relation occurs. The returned slice is shared; callers must not
 // mutate it.
 func (s *Store) Items(label string) []algebra.Item {
+	if word, isWord := strings.CutPrefix(label, "~"); isWord {
+		return s.wordItems(word)
+	}
 	s.scanCount.Inc()
 	if label == "*" {
 		s.scanItems.Add(int64(len(s.elems)))
 		return s.elems
 	}
-	if word, isWord := strings.CutPrefix(label, "~"); isWord {
-		var out []algebra.Item
-		for _, it := range s.rels[xmltree.TextLabel] {
-			if it.Node != nil && it.Node.MatchesWord(word) {
-				out = append(out, it)
-			}
-		}
-		s.scanItems.Add(int64(len(s.rels[xmltree.TextLabel])))
-		return out
-	}
 	s.scanItems.Add(int64(len(s.rels[label])))
 	return s.rels[label]
 }
 
-// Count returns |R_label| without materializing the relation: word labels
-// are counted with a single pass over the text relation (no allocation, one
-// scan recorded); every other label is a length lookup.
+// Count returns |R_label| without scanning: word labels are a length lookup
+// on the inverted index (building its entry on a cold first access), every
+// other label a length lookup on its relation.
 func (s *Store) Count(label string) int {
 	if word, isWord := strings.CutPrefix(label, "~"); isWord {
-		s.scanCount.Inc()
-		s.scanItems.Add(int64(len(s.rels[xmltree.TextLabel])))
-		n := 0
-		for _, it := range s.rels[xmltree.TextLabel] {
-			if it.Node != nil && it.Node.MatchesWord(word) {
-				n++
-			}
-		}
-		return n
+		return len(s.wordItems(word))
 	}
 	if label == "*" {
 		return len(s.elems)
 	}
 	return len(s.rels[label])
+}
+
+// wordItems serves R_{~word} from the inverted index, building the entry by
+// one scan of the text relation on a cold access.
+func (s *Store) wordItems(word string) []algebra.Item {
+	s.wordMu.RLock()
+	out, ok := s.wordIdx[word]
+	s.wordMu.RUnlock()
+	if ok {
+		s.wordHits.Inc()
+		return out
+	}
+	s.wordMu.Lock()
+	defer s.wordMu.Unlock()
+	if out, ok := s.wordIdx[word]; ok {
+		s.wordHits.Inc()
+		return out
+	}
+	s.scanCount.Inc()
+	s.scanItems.Add(int64(len(s.rels[xmltree.TextLabel])))
+	for _, it := range s.rels[xmltree.TextLabel] {
+		if it.Node != nil && it.Node.MatchesWord(word) {
+			out = append(out, it)
+		}
+	}
+	if s.wordIdx == nil {
+		s.wordIdx = make(map[string][]algebra.Item)
+	}
+	s.wordIdx[word] = out
+	s.wordBuilds.Inc()
+	return out
+}
+
+// invalidateWords drops the whole inverted word index; called whenever a
+// text node enters or leaves the canonical relations.
+func (s *Store) invalidateWords() {
+	s.wordMu.Lock()
+	s.wordIdx = nil
+	s.wordMu.Unlock()
 }
 
 // Inputs assembles σ-filtered per-node inputs for a pattern from the
@@ -150,30 +195,42 @@ func (s *Store) AddSubtrees(roots []*xmltree.Node) {
 		sortItems(elems)
 		s.elems = mergeSorted(s.elems, elems)
 	}
+	if len(byLabel[xmltree.TextLabel]) > 0 {
+		s.invalidateWords()
+	}
 }
 
 func sortItems(items []algebra.Item) {
 	sort.Slice(items, func(i, j int) bool { return items[i].ID.Compare(items[j].ID) < 0 })
 }
 
-// mergeSorted merges two document-ordered item lists.
+// mergeSorted merges two document-ordered item lists. The merge gallops:
+// instead of comparing element by element, it binary-searches (on the cached
+// ID keys) for the splice point of each run of b inside a and moves whole
+// runs with copy. Statement-level inserts put all new items of a label under
+// a handful of parents, so runs are long and the cost is dominated by two
+// memmoves rather than |a| comparisons.
 func mergeSorted(a, b []algebra.Item) []algebra.Item {
 	if len(b) == 0 {
 		return a
 	}
 	out := make([]algebra.Item, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if a[i].ID.Compare(b[j].ID) <= 0 {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
+	i := 0
+	for j := 0; j < len(b); {
+		// Everything in a strictly before b[j] (ties keep a first, matching
+		// the stable element-wise merge).
+		k := i + sort.Search(len(a)-i, func(x int) bool { return a[i+x].ID.Compare(b[j].ID) > 0 })
+		out = append(out, a[i:k]...)
+		i = k
+		// The run of b that fits before a[i].
+		r := j + 1
+		for r < len(b) && (i >= len(a) || b[r].ID.Compare(a[i].ID) < 0) {
+			r++
 		}
+		out = append(out, b[j:r]...)
+		j = r
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	return append(out, a[i:]...)
 }
 
 // AddNode registers exactly one node in the canonical relations, ignoring
@@ -185,6 +242,9 @@ func (s *Store) AddNode(n *xmltree.Node) {
 	if n.Kind == xmltree.Element {
 		s.elems = mergeSorted(s.elems, it)
 	}
+	if n.Label == xmltree.TextLabel {
+		s.invalidateWords()
+	}
 }
 
 // RemoveNode drops exactly one node from the canonical relations, leaving
@@ -194,6 +254,9 @@ func (s *Store) RemoveNode(n *xmltree.Node) {
 	s.rels[n.Label] = filterOut(s.rels[n.Label], gone)
 	if n.Kind == xmltree.Element {
 		s.elems = filterOut(s.elems, gone)
+	}
+	if n.Label == xmltree.TextLabel {
+		s.invalidateWords()
 	}
 }
 
@@ -237,6 +300,9 @@ func (s *Store) RemoveSubtrees(roots []*xmltree.Node) {
 			}
 		}
 		s.elems = filterOut(s.elems, all)
+	}
+	if len(gone[xmltree.TextLabel]) > 0 {
+		s.invalidateWords()
 	}
 }
 

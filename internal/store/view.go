@@ -13,6 +13,7 @@ type View struct {
 	byKey   map[string]int
 	rows    []algebra.Row // live rows plus tombstones (Count<=0 slots reused)
 	size    int
+	keyBuf  []byte // reused row-key scratch; View is not safe for concurrent mutation
 }
 
 // NewView creates an empty materialized view over p.
@@ -42,9 +43,11 @@ func (v *View) Get(key string) (algebra.Row, bool) {
 
 // Upsert adds the row's derivation count to the stored row with the same
 // identity, inserting it if absent. It returns true when the row is new.
+// The probe key is built in a reused buffer; a string is only materialized
+// for genuinely new rows.
 func (v *View) Upsert(r algebra.Row) bool {
-	k := r.Key()
-	if i, ok := v.byKey[k]; ok {
+	v.keyBuf = r.AppendKey(v.keyBuf[:0])
+	if i, ok := v.byKey[string(v.keyBuf)]; ok {
 		if v.rows[i].Count <= 0 {
 			v.rows[i] = r
 			v.size++
@@ -53,7 +56,7 @@ func (v *View) Upsert(r algebra.Row) bool {
 		v.rows[i].Count += r.Count
 		return false
 	}
-	v.byKey[k] = len(v.rows)
+	v.byKey[string(v.keyBuf)] = len(v.rows)
 	v.rows = append(v.rows, r)
 	v.size++
 	return true
