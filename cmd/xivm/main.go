@@ -13,6 +13,18 @@
 // (-view) or directly as tree patterns (-pattern). Each trailing argument
 // is one update statement, applied in order; after each statement the tool
 // reports per-phase timings and row deltas, and -rows dumps view contents.
+//
+// With -data-dir the tool runs durably: statements are journaled to a
+// write-ahead log before they touch any view, checkpoints capture the
+// document plus every view, and restarting against the same directory
+// recovers the exact acknowledged state (-doc is then only needed on first
+// use, to create the database). -verify-recovery opens the directory,
+// prints what recovery did, and checks every recovered view row-for-row
+// against a fresh evaluation:
+//
+//	xivm -data-dir ./data -doc auction.xml -pattern 'Q1=...' 'delete //x'
+//	xivm -data-dir ./data -fsync interval -checkpoint-every 100 'insert …'
+//	xivm -data-dir ./data -verify-recovery
 package main
 
 import (
@@ -23,13 +35,16 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"xivm/internal/algebra"
 	"xivm/internal/core"
 	"xivm/internal/obs"
 	"xivm/internal/pattern"
 	"xivm/internal/store"
 	"xivm/internal/update"
 	"xivm/internal/view"
+	"xivm/internal/wal"
 	"xivm/internal/xmltree"
 )
 
@@ -58,12 +73,41 @@ func run() error {
 	loadDir := flag.String("load", "", "directory to restore per-view snapshots from (instead of materializing)")
 	metricsOut := flag.String("metrics", "", `dump engine metrics when done: "json" to stdout, or a file path`)
 	serveAddr := flag.String("serve", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
+	dataDir := flag.String("data-dir", "", "durable mode: journal statements to a write-ahead log in this directory")
+	fsync := flag.String("fsync", "always", "durable mode fsync policy: always, interval, or never")
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit window under -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "durable mode: checkpoint automatically after this many journaled records (0 = never)")
+	compactRecovery := flag.Bool("compact-recovery", false, "durable mode: compact the replay tail with the PUL reduction rules")
+	verifyRecovery := flag.Bool("verify-recovery", false, "open -data-dir, report what recovery did, verify every view against a fresh evaluation, and exit")
 	flag.Parse()
 
 	if *serveAddr != "" {
 		obs.PublishExpvar("xivm", obs.Default())
 		go func() { _ = http.ListenAndServe(*serveAddr, nil) }()
 		fmt.Printf("serving pprof/expvar on %s\n", *serveAddr)
+	}
+
+	if *dataDir != "" {
+		return runDurable(durableConfig{
+			dir:             *dataDir,
+			docPath:         *docPath,
+			views:           views,
+			patterns:        patterns,
+			policy:          *policy,
+			engine:          *engine,
+			fsync:           *fsync,
+			fsyncInterval:   *fsyncInterval,
+			checkpointEvery: *checkpointEvery,
+			compact:         *compactRecovery,
+			verify:          *verifyRecovery,
+			showRows:        *showRows,
+			stats:           *stats,
+			metricsOut:      *metricsOut,
+			statements:      flag.Args(),
+		})
+	}
+	if *verifyRecovery {
+		return fmt.Errorf("-verify-recovery requires -data-dir")
 	}
 
 	if *docPath == "" {
@@ -79,15 +123,9 @@ func run() error {
 		return err
 	}
 
-	var eopts []core.Option
-	switch *policy {
-	case "snowcaps":
-	case "leaves":
-		eopts = append(eopts, core.WithPolicy(core.PolicyLeaves))
-	case "cost":
-		eopts = append(eopts, core.WithPolicy(core.PolicyCost))
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
+	eopts, err := policyOptions(*policy)
+	if err != nil {
+		return err
 	}
 	e := core.New(doc, eopts...)
 
@@ -165,24 +203,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("targets=%d\n", rep.Targets)
-			if *stats {
-				fmt.Printf("find=%v (once per statement)\n", rep.FindTargets)
-			}
-			for _, vr := range rep.Views {
-				fmt.Printf("view %-8s +%d -%d ~%d rows  terms %d/%d",
-					vr.View.Name, vr.RowsAdded, vr.RowsRemoved, vr.RowsModified,
-					vr.TermsSurvived, vr.TermsTotal)
-				if vr.PredFallback {
-					fmt.Print("  [predicate flip: recomputed]")
-				}
-				fmt.Println()
-				if *stats {
-					t := vr.Timings()
-					fmt.Printf("  delta=%v expr=%v exec=%v lattice=%v\n",
-						t.ComputeDelta, t.GetExpression, t.ExecuteUpdate, t.UpdateLattice)
-				}
-			}
+			printReport(rep, *stats)
 		case "full":
 			d, err := e.FullRecompute(st)
 			if err != nil {
@@ -236,6 +257,223 @@ func run() error {
 		}
 		return os.WriteFile(*metricsOut, []byte(b.String()), 0o644)
 	}
+	return nil
+}
+
+func policyOptions(policy string) ([]core.Option, error) {
+	switch policy {
+	case "snowcaps":
+		return nil, nil
+	case "leaves":
+		return []core.Option{core.WithPolicy(core.PolicyLeaves)}, nil
+	case "cost":
+		return []core.Option{core.WithPolicy(core.PolicyCost)}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", policy)
+}
+
+func printReport(rep *core.Report, stats bool) {
+	fmt.Printf("targets=%d\n", rep.Targets)
+	if stats {
+		fmt.Printf("find=%v (once per statement)\n", rep.FindTargets)
+	}
+	for _, vr := range rep.Views {
+		fmt.Printf("view %-8s +%d -%d ~%d rows  terms %d/%d",
+			vr.View.Name, vr.RowsAdded, vr.RowsRemoved, vr.RowsModified,
+			vr.TermsSurvived, vr.TermsTotal)
+		if vr.PredFallback {
+			fmt.Print("  [predicate flip: recomputed]")
+		}
+		fmt.Println()
+		if stats {
+			t := vr.Timings()
+			fmt.Printf("  delta=%v expr=%v exec=%v lattice=%v\n",
+				t.ComputeDelta, t.GetExpression, t.ExecuteUpdate, t.UpdateLattice)
+		}
+	}
+}
+
+type durableConfig struct {
+	dir             string
+	docPath         string
+	views           []string
+	patterns        []string
+	policy          string
+	engine          string
+	fsync           string
+	fsyncInterval   time.Duration
+	checkpointEvery int
+	compact         bool
+	verify          bool
+	showRows        bool
+	stats           bool
+	metricsOut      string
+	statements      []string
+}
+
+// runDurable is the -data-dir mode: every statement goes through the
+// write-ahead log, and the directory recovers to the acknowledged state on
+// the next run.
+func runDurable(cfg durableConfig) error {
+	if cfg.engine != "incr" {
+		return fmt.Errorf("-data-dir supports only -engine incr (the log replays through the incremental engine)")
+	}
+	policy, err := wal.ParseSyncPolicy(cfg.fsync)
+	if err != nil {
+		return err
+	}
+	eopts, err := policyOptions(cfg.policy)
+	if err != nil {
+		return err
+	}
+	opts := wal.Options{
+		Sync:            policy,
+		SyncInterval:    cfg.fsyncInterval,
+		CheckpointEvery: cfg.checkpointEvery,
+		Compact:         cfg.compact,
+		Engine:          eopts,
+	}
+
+	var db *wal.DB
+	if cfg.docPath != "" {
+		docXML, err := os.ReadFile(cfg.docPath)
+		if err != nil {
+			return err
+		}
+		db, err = wal.OpenOrCreate(cfg.dir, docXML, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		db, err = wal.Open(cfg.dir, opts)
+		if err != nil {
+			return fmt.Errorf("%w (pass -doc to create a new database)", err)
+		}
+	}
+	defer db.Close()
+	printRecovery(db)
+
+	if cfg.verify {
+		return verifyViews(db)
+	}
+
+	addView := func(name, src string, compile func(string) (*pattern.Pattern, error)) error {
+		if db.HasView(name) {
+			fmt.Printf("view %-8s (recovered)\n", name)
+			return nil
+		}
+		p, err := compile(src)
+		if err != nil {
+			return fmt.Errorf("view %s: %w", name, err)
+		}
+		// The log stores the pattern rendering, which reparses to an equal
+		// pattern regardless of which dialect declared it.
+		mv, err := db.AddView(name, p.String())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("view %-8s %s  (%d rows)\n", name, p, mv.View.Len())
+		return nil
+	}
+	for _, spec := range cfg.views {
+		name, src, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("view spec %q must be NAME=DEFINITION", spec)
+		}
+		if err := addView(name, src, func(src string) (*pattern.Pattern, error) {
+			def, err := view.Compile(src)
+			if err != nil {
+				return nil, err
+			}
+			return def.Pattern, nil
+		}); err != nil {
+			return err
+		}
+	}
+	for _, spec := range cfg.patterns {
+		name, src, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("pattern spec %q must be NAME=PATTERN", spec)
+		}
+		if err := addView(name, src, pattern.Parse); err != nil {
+			return err
+		}
+	}
+	if len(db.Engine().Views) == 0 {
+		return fmt.Errorf("no views declared (-view / -pattern) and none recovered")
+	}
+
+	for _, stmt := range cfg.statements {
+		st, err := update.Parse(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n>> %s\n", stmt)
+		rep, err := db.Apply(st)
+		if err != nil {
+			return err
+		}
+		printReport(rep, cfg.stats)
+		if cfg.showRows {
+			printRows(db.Engine())
+		}
+	}
+	if err := db.Sync(); err != nil {
+		return err
+	}
+	if !cfg.showRows {
+		printRows(db.Engine())
+	}
+	fmt.Printf("\ndurable through lsn %d in %s\n", db.LastLSN(), db.Dir())
+	if cfg.metricsOut != "" {
+		if cfg.metricsOut == "json" || cfg.metricsOut == "-" {
+			fmt.Println()
+			return obs.Default().WriteJSON(os.Stdout)
+		}
+		var b strings.Builder
+		if err := obs.Default().WriteJSON(&b); err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.metricsOut, []byte(b.String()), 0o644)
+	}
+	return nil
+}
+
+func printRecovery(db *wal.DB) {
+	st := db.Stats()
+	fmt.Printf("recovered: checkpoint lsn=%d replayed=%d skipped=%d\n",
+		st.CheckpointLSN, st.Replayed, st.Skipped)
+	if st.TruncatedBytes > 0 {
+		fmt.Printf("  torn tail: %d bytes truncated\n", st.TruncatedBytes)
+	}
+	if st.BadCheckpoints > 0 {
+		fmt.Printf("  %d corrupt checkpoint(s) skipped\n", st.BadCheckpoints)
+	}
+	if st.Compacted {
+		fmt.Printf("  replay compacted: %d operations eliminated\n", st.CompactedOps)
+	}
+}
+
+// verifyViews is the recover-and-verify mode: every recovered view must be
+// row-for-row identical to a fresh evaluation of its pattern over the
+// recovered document.
+func verifyViews(db *wal.DB) error {
+	e := db.Engine()
+	bad := 0
+	for _, mv := range e.Views {
+		want := algebra.Materialize(e.Doc, mv.Pattern)
+		if mv.View.EqualRows(want) {
+			fmt.Printf("view %-8s %s  ok (%d rows)\n", mv.Name, mv.Pattern, len(want))
+		} else {
+			fmt.Printf("view %-8s %s  DIVERGED (%d rows maintained, %d fresh)\n",
+				mv.Name, mv.Pattern, mv.View.Len(), len(want))
+			bad++
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d view(s) diverged from fresh evaluation", bad)
+	}
+	fmt.Printf("all %d view(s) verified against fresh evaluation\n", len(e.Views))
 	return nil
 }
 

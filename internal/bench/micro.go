@@ -48,6 +48,8 @@ func MicroBenchmarks() []struct {
 		{"DupElim", MicroDupElim},
 		{"WordItems", MicroWordItems},
 		{"ApplyStatement", MicroApplyStatement},
+		{"RecoverEager", MicroRecoverEager},
+		{"RecoverCompacted", MicroRecoverCompacted},
 	}
 }
 

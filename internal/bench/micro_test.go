@@ -26,3 +26,13 @@ func BenchmarkMicroApplyStatement(b *testing.B) {
 	b.ReportAllocs()
 	MicroApplyStatement(b, SmallBytes)
 }
+
+func BenchmarkMicroRecoverEager(b *testing.B) {
+	b.ReportAllocs()
+	MicroRecoverEager(b, SmallBytes)
+}
+
+func BenchmarkMicroRecoverCompacted(b *testing.B) {
+	b.ReportAllocs()
+	MicroRecoverCompacted(b, SmallBytes)
+}

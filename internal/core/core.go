@@ -91,6 +91,14 @@ type Options struct {
 	// process-wide obs.Default(). Pass a private registry (obs.New()) to
 	// isolate one engine's counters.
 	Metrics *obs.Metrics
+	// Journal, when non-nil, is invoked with every statement BEFORE the
+	// document or any view is mutated — the write-ahead discipline. A
+	// journal error aborts the statement with no effect. Statements that
+	// are journaled and then rejected by the engine (bad target, parse-time
+	// type error surfacing at PUL computation) fail deterministically, so a
+	// replay rejects them identically; the durability layer counts them as
+	// skipped. Both ApplyStatement(Ctx) and Lazy.Apply honor the hook.
+	Journal func(st *update.Statement) error
 	// Tracer, when non-nil, receives span start/finish events per
 	// statement, per phase and per view. Implementations must be safe for
 	// concurrent use when Parallel is set.
@@ -335,6 +343,11 @@ func (e *Engine) ApplyStatement(st *update.Statement) (*Report, error) {
 func (e *Engine) ApplyStatementCtx(ctx context.Context, st *update.Statement) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.opts.Journal != nil {
+		if err := e.opts.Journal(st); err != nil {
+			return nil, err
+		}
 	}
 	endStatement := e.span("apply:" + st.Kind.String())
 	defer endStatement()

@@ -55,6 +55,11 @@ func (l *Lazy) Pending() int { return l.pending }
 // same batch (the net-effect flush composes them like any other churn).
 func (l *Lazy) Apply(st *update.Statement) error {
 	e := l.e
+	if e.opts.Journal != nil {
+		if err := e.opts.Journal(st); err != nil {
+			return err
+		}
+	}
 	if st.Kind == update.Replace {
 		delPul, insPul, err := update.ExpandReplace(e.Doc, st)
 		if err != nil {

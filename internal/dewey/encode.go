@@ -62,6 +62,12 @@ func Decode(d *Dict, src []byte) (ID, int, error) {
 		return ID{}, 0, errors.New("dewey: truncated step count")
 	}
 	pos += k
+	// Every step costs at least two bytes (label code + ordinal length), so
+	// a count beyond half the remaining input cannot be satisfied. Checking
+	// before the make keeps corrupt input from forcing a huge allocation.
+	if n > uint64(len(src)-pos)/2 {
+		return ID{}, 0, errors.New("dewey: implausible step count")
+	}
 	steps := make([]Step, 0, n)
 	for i := uint64(0); i < n; i++ {
 		code, k := binary.Uvarint(src[pos:])
@@ -78,6 +84,9 @@ func Decode(d *Dict, src []byte) (ID, int, error) {
 			return ID{}, 0, errors.New("dewey: truncated ordinal length")
 		}
 		pos += k
+		if m > uint64(len(src)-pos) {
+			return ID{}, 0, errors.New("dewey: implausible ordinal length")
+		}
 		ord := make(Ord, 0, m)
 		for j := uint64(0); j < m; j++ {
 			c, k := binary.Uvarint(src[pos:])

@@ -158,14 +158,19 @@ func (p *Pattern) ContValIndexes() []int {
 
 // String renders the pattern in a compact XPath-like syntax with stored
 // attributes as subscripts, e.g. "//a{ID}[//b{ID}//c]//d{ID,cont}".
+// String is Parse's inverse: the output reparses to an equal pattern,
+// including the root's / vs // anchoring (a /-anchored root only matches
+// the document root element; flattening it to // would widen the view).
+// Durable artifacts (checkpoint manifests, write-ahead view records) store
+// this rendering, so its stability is load-bearing.
 func (p *Pattern) String() string {
 	var b strings.Builder
-	writeNode(&b, p.Root, true)
+	writeNode(&b, p.Root)
 	return b.String()
 }
 
-func writeNode(b *strings.Builder, n *Node, root bool) {
-	if n.Desc || root {
+func writeNode(b *strings.Builder, n *Node) {
+	if n.Desc {
 		b.WriteString("//")
 	} else {
 		b.WriteString("/")
@@ -182,10 +187,10 @@ func writeNode(b *strings.Builder, n *Node, root bool) {
 	for i, c := range n.Children {
 		if i < len(n.Children)-1 {
 			b.WriteByte('[')
-			writeNode(b, c, false)
+			writeNode(b, c)
 			b.WriteByte(']')
 		} else {
-			writeNode(b, c, false)
+			writeNode(b, c)
 		}
 	}
 }

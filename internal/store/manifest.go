@@ -1,0 +1,135 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Manifest describes one checkpoint: a consistent on-disk image of the
+// document plus every managed view, stamped with the log sequence number it
+// reflects. The document and each view snapshot live in sibling files; the
+// manifest binds them together with content hashes so recovery can tell a
+// complete checkpoint from a torn or bit-rotted one before trusting it.
+type Manifest struct {
+	// Format is the manifest schema version; decoding rejects versions it
+	// does not know.
+	Format int `json:"format"`
+	// LSN is the last log sequence number whose effects the checkpoint
+	// contains; recovery replays strictly newer records on top of it.
+	LSN uint64 `json:"lsn"`
+	// DocHash/DocBytes cover the canonical XML serialization of the
+	// document file.
+	DocHash  string `json:"doc_hash"`
+	DocBytes int64  `json:"doc_bytes"`
+	// Views lists every materialized view in the checkpoint, in the order
+	// they were registered with the engine.
+	Views []ManifestView `json:"views"`
+}
+
+// ManifestView is one view's entry in a checkpoint manifest.
+type ManifestView struct {
+	Name string `json:"name"`
+	// Pattern is the view's tree pattern in pattern.Parse syntax; recovery
+	// re-compiles it to rebuild maintenance structures.
+	Pattern string `json:"pattern"`
+	// Hash/Bytes cover the view's EncodeSnapshot image.
+	Hash  string `json:"hash"`
+	Bytes int64  `json:"bytes"`
+}
+
+// manifestFormat is the current schema version.
+const manifestFormat = 1
+
+// NewManifest returns an empty manifest at the current format version.
+func NewManifest(lsn uint64) *Manifest {
+	return &Manifest{Format: manifestFormat, LSN: lsn}
+}
+
+// AddView appends a view entry, hashing its snapshot image.
+func (m *Manifest) AddView(name, pattern string, snapshot []byte) {
+	m.Views = append(m.Views, ManifestView{
+		Name:    name,
+		Pattern: pattern,
+		Hash:    HashBytes(snapshot),
+		Bytes:   int64(len(snapshot)),
+	})
+}
+
+// SetDoc records the document image's hash and size.
+func (m *Manifest) SetDoc(doc []byte) {
+	m.DocHash = HashBytes(doc)
+	m.DocBytes = int64(len(doc))
+}
+
+// View returns the entry with the given name, or nil.
+func (m *Manifest) View(name string) *ManifestView {
+	for i := range m.Views {
+		if m.Views[i].Name == name {
+			return &m.Views[i]
+		}
+	}
+	return nil
+}
+
+// EncodeManifest serializes the manifest as indented JSON (deterministic:
+// field order is fixed, views keep registration order).
+func EncodeManifest(m *Manifest) []byte {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		// Manifest contains only plain data types; marshaling cannot fail.
+		panic("store: manifest marshal: " + err.Error())
+	}
+	return append(data, '\n')
+}
+
+// DecodeManifest parses and validates a manifest: known format version,
+// well-formed hashes, and no duplicate or unnamed views.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: bad manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, fmt.Errorf("store: unsupported manifest format %d", m.Format)
+	}
+	if !validHash(m.DocHash) {
+		return nil, errors.New("store: manifest has malformed document hash")
+	}
+	if m.DocBytes < 0 {
+		return nil, errors.New("store: manifest has negative document size")
+	}
+	seen := make(map[string]bool, len(m.Views))
+	for _, v := range m.Views {
+		if v.Name == "" {
+			return nil, errors.New("store: manifest view without a name")
+		}
+		if seen[v.Name] {
+			return nil, fmt.Errorf("store: duplicate manifest view %q", v.Name)
+		}
+		seen[v.Name] = true
+		if !validHash(v.Hash) {
+			return nil, fmt.Errorf("store: manifest view %q has malformed hash", v.Name)
+		}
+		if v.Bytes < 0 {
+			return nil, fmt.Errorf("store: manifest view %q has negative size", v.Name)
+		}
+	}
+	return &m, nil
+}
+
+// HashBytes returns the hex SHA-256 of b — the content hash manifests use.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+func validHash(h string) bool {
+	if len(h) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(h)
+	return err == nil
+}

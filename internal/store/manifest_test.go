@@ -1,0 +1,80 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest(42)
+	m.SetDoc([]byte("<site/>"))
+	m.AddView("Q1", "//a{ID}", []byte("snapshot-1"))
+	m.AddView("Q2", "//b{ID,val}", []byte("snapshot-2"))
+
+	back, err := DecodeManifest(EncodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LSN != 42 || back.Format != manifestFormat {
+		t.Fatalf("lsn/format %d/%d", back.LSN, back.Format)
+	}
+	if back.DocHash != HashBytes([]byte("<site/>")) || back.DocBytes != 7 {
+		t.Fatalf("doc hash/bytes %q/%d", back.DocHash, back.DocBytes)
+	}
+	if len(back.Views) != 2 {
+		t.Fatalf("views %d", len(back.Views))
+	}
+	v := back.View("Q2")
+	if v == nil || v.Pattern != "//b{ID,val}" || v.Hash != HashBytes([]byte("snapshot-2")) || v.Bytes != 10 {
+		t.Fatalf("view Q2 %+v", v)
+	}
+	if back.View("missing") != nil {
+		t.Fatal("lookup of absent view succeeded")
+	}
+}
+
+func TestDecodeManifestRejectsCorruption(t *testing.T) {
+	good := func() *Manifest {
+		m := NewManifest(7)
+		m.SetDoc([]byte("<a/>"))
+		m.AddView("V", "//a{ID}", []byte("x"))
+		return m
+	}
+	cases := map[string]func() []byte{
+		"not json":   func() []byte { return []byte("{nope") },
+		"bad format": func() []byte { m := good(); m.Format = 99; return EncodeManifest(m) },
+		"bad doc hash": func() []byte {
+			m := good()
+			m.DocHash = "deadbeef"
+			return EncodeManifest(m)
+		},
+		"negative doc size": func() []byte { m := good(); m.DocBytes = -1; return EncodeManifest(m) },
+		"unnamed view": func() []byte {
+			m := good()
+			m.Views[0].Name = ""
+			return EncodeManifest(m)
+		},
+		"duplicate view": func() []byte {
+			m := good()
+			m.AddView("V", "//b{ID}", []byte("y"))
+			return EncodeManifest(m)
+		},
+		"bad view hash": func() []byte {
+			m := good()
+			m.Views[0].Hash = "zz"
+			return EncodeManifest(m)
+		},
+		"negative view size": func() []byte {
+			m := good()
+			m.Views[0].Bytes = -5
+			return EncodeManifest(m)
+		},
+	}
+	for name, build := range cases {
+		if _, err := DecodeManifest(build()); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		} else if !strings.HasPrefix(err.Error(), "store:") {
+			t.Errorf("%s: error %q lacks store: prefix", name, err)
+		}
+	}
+}

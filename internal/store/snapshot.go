@@ -61,6 +61,14 @@ func DecodeSnapshot(data []byte) ([]algebra.Row, error) {
 		return nil, errors.New("store: truncated label count")
 	}
 	pos += k
+	// Length-sanity rule, applied to every count decoded below: each
+	// counted element occupies at least one byte of the remaining input, so
+	// any count exceeding it proves corruption. Rejecting before the make
+	// turns a forged multi-gigabyte count into an error instead of an
+	// allocation blow-up.
+	if nLabels > uint64(len(data)-pos) {
+		return nil, errors.New("store: implausible label count")
+	}
 	var dict dewey.Dict
 	for i := uint64(0); i < nLabels; i++ {
 		s, n, err := readString(data[pos:])
@@ -75,6 +83,10 @@ func DecodeSnapshot(data []byte) ([]algebra.Row, error) {
 		return nil, errors.New("store: truncated row count")
 	}
 	pos += k
+	// A row costs at least two bytes (count + entry count).
+	if nRows > uint64(len(data)-pos)/2 {
+		return nil, errors.New("store: implausible row count")
+	}
 	rows := make([]algebra.Row, 0, nRows)
 	for i := uint64(0); i < nRows; i++ {
 		count, k := binary.Uvarint(data[pos:])
@@ -82,11 +94,19 @@ func DecodeSnapshot(data []byte) ([]algebra.Row, error) {
 			return nil, errors.New("store: truncated count")
 		}
 		pos += k
+		if count > 1<<40 {
+			return nil, errors.New("store: implausible derivation count")
+		}
 		nEnt, k := binary.Uvarint(data[pos:])
 		if k <= 0 {
 			return nil, errors.New("store: truncated entry count")
 		}
 		pos += k
+		// An entry costs at least four bytes (node index, ID step count,
+		// two string lengths).
+		if nEnt > uint64(len(data)-pos)/4 {
+			return nil, errors.New("store: implausible entry count")
+		}
 		r := algebra.Row{Count: int(count), Entries: make([]algebra.RowEntry, 0, nEnt)}
 		for j := uint64(0); j < nEnt; j++ {
 			idx, k := binary.Uvarint(data[pos:])
@@ -94,6 +114,11 @@ func DecodeSnapshot(data []byte) ([]algebra.Row, error) {
 				return nil, errors.New("store: truncated node index")
 			}
 			pos += k
+			// Pattern node indexes live in a uint64 bitmask, so 64 bounds
+			// every legitimate snapshot.
+			if idx >= 64 {
+				return nil, errors.New("store: implausible node index")
+			}
 			id, n, err := dewey.Decode(&dict, data[pos:])
 			if err != nil {
 				return nil, fmt.Errorf("store: %w", err)
@@ -112,6 +137,9 @@ func DecodeSnapshot(data []byte) ([]algebra.Row, error) {
 			r.Entries = append(r.Entries, algebra.RowEntry{NodeIdx: int(idx), ID: id, Val: val, Cont: cont})
 		}
 		rows = append(rows, r)
+	}
+	if pos != len(data) {
+		return nil, errors.New("store: trailing bytes after snapshot body")
 	}
 	return rows, nil
 }

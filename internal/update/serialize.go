@@ -1,0 +1,81 @@
+package update
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement serialization: every Statement renders to a canonical textual
+// form that Parse accepts and that re-parses to an equivalent statement.
+// The canonical form is what the write-ahead log (internal/wal) journals —
+// a replayable, human-auditable record — so its stability is load-bearing:
+// changing it invalidates existing logs.
+//
+// Canonicalization flattens syntactic sugar: the for-bound insertion form
+// `for $x in q insert F into $x` renders as `insert F into q` (the two
+// parse to identical statements), and a `let $d := doc(…)` prefix is
+// dropped (paths are stored resolved).
+
+// Format renders the statement in canonical form. It is Parse's inverse up
+// to canonicalization: Parse(Format(st)) always succeeds and yields a
+// statement with the same kind, target, forest and copy-source.
+func Format(st *Statement) string {
+	var b strings.Builder
+	appendFormat(&b, st)
+	return b.String()
+}
+
+func appendFormat(b *strings.Builder, st *Statement) {
+	switch st.Kind {
+	case Delete:
+		b.WriteString("delete ")
+		b.WriteString(st.Target.String())
+	case Replace:
+		b.WriteString("replace ")
+		b.WriteString(st.Target.String())
+		b.WriteString(" with ")
+		b.WriteString(ForestString(st.Forest))
+	case Insert:
+		b.WriteString("insert ")
+		if st.CopyOf != nil {
+			b.WriteString(st.CopyOf.String())
+		} else {
+			b.WriteString(ForestString(st.Forest))
+		}
+		b.WriteString(" into ")
+		b.WriteString(st.Target.String())
+	}
+}
+
+// Canonical reparses the canonical rendering, returning a statement whose
+// Source equals its Format. Round-tripping through text (rather than
+// cloning in memory) keeps the guarantee honest: whatever Canonical
+// returns is exactly what a log replay will reconstruct.
+func (s *Statement) Canonical() (*Statement, error) {
+	src := Format(s)
+	st, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("update: statement does not round-trip (%q): %w", src, err)
+	}
+	return st, nil
+}
+
+// Equivalent reports whether two statements denote the same update: same
+// kind, same target path, same copy-source, and forests serializing to the
+// same XML. Source text is ignored — `for $x in q insert F` and
+// `insert F into q` are equivalent.
+func Equivalent(a, b *Statement) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	if a.Target.String() != b.Target.String() {
+		return false
+	}
+	if (a.CopyOf == nil) != (b.CopyOf == nil) {
+		return false
+	}
+	if a.CopyOf != nil && a.CopyOf.String() != b.CopyOf.String() {
+		return false
+	}
+	return ForestString(a.Forest) == ForestString(b.Forest)
+}

@@ -1,0 +1,180 @@
+package update
+
+import (
+	"strings"
+	"testing"
+)
+
+// roundTripCases covers every statement kind and the syntactic variants
+// that canonicalize away (for-bound insertion, let-prefixed paths).
+var roundTripCases = []struct {
+	name string
+	src  string
+	want string // canonical form; "" means src is already canonical
+}{
+	{"delete", `delete /site/people/person`, ""},
+	{"delete-descendant", `delete //c//b`, ""},
+	{"delete-wildcard", `delete /site/regions/*/item`, ""},
+	{"delete-attr-pred", `delete //person[@id]`, ""},
+	{"delete-text-pred", `delete //name[text()="x"]`, ""},
+	{"delete-and-or", `delete /site/people/person[address and (phone or homepage)]`, ""},
+	{"insert-forest", `insert <a><b/><b><c/></b></a> into /site/people`, ""},
+	{"insert-two-trees", `insert <a/><b/> into /site`, ""},
+	{"insert-attrs", `insert <person id="p9"><name>N</name></person> into /site/people`, ""},
+	{"insert-text", `insert <phone>+33 555 0199</phone> into //person`, ""},
+	{"insert-escapes", `insert <t>a &amp; b &lt; c</t> into /site`, ""},
+	{"insert-copyof", `insert //a into //b`, ""},
+	{"for-insert", `for $x in /site/people/person insert <phone>1</phone>`,
+		`insert <phone>1</phone> into /site/people/person`},
+	{"for-insert-into", `for $x in //p insert <q/> into $x`, `insert <q/> into //p`},
+	{"let-delete", `let $c := doc("a") delete $c//b`, `delete //b`},
+	{"replace", `replace //name with <name>x</name>`, ""},
+	{"replace-forest", `replace /a/b with <b><c/></b><b/>`, ""},
+	{"replace-pred", `replace //person[homepage]/homepage with <homepage>u</homepage>`, ""},
+}
+
+// TestFormatRoundTrip: Format output reparses to an equivalent statement,
+// and formatting is a fixpoint (Format ∘ Parse ∘ Format = Format).
+func TestFormatRoundTrip(t *testing.T) {
+	for _, tc := range roundTripCases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := Format(st)
+			want := tc.want
+			if want == "" {
+				want = tc.src
+			}
+			if got != want {
+				t.Fatalf("Format = %q, want %q", got, want)
+			}
+			back, err := Parse(got)
+			if err != nil {
+				t.Fatalf("canonical form does not reparse: %v", err)
+			}
+			if !Equivalent(st, back) {
+				t.Fatalf("reparsed statement differs:\n  src  %+v\n  back %+v", st, back)
+			}
+			if again := Format(back); again != got {
+				t.Fatalf("Format not a fixpoint: %q then %q", got, again)
+			}
+		})
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	st, err := Parse(`for $x in //item[mailbox] insert <mail/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := st.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Source != `insert <mail/> into //item[mailbox]` {
+		t.Fatalf("canonical source %q", canon.Source)
+	}
+	if !Equivalent(st, canon) {
+		t.Fatal("canonical statement not equivalent to original")
+	}
+}
+
+func TestEquivalentDistinguishes(t *testing.T) {
+	parse := func(s string) *Statement {
+		st, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	base := parse(`insert <a/> into /site`)
+	for _, other := range []string{
+		`delete /site`,                  // kind differs
+		`insert <a/> into /site/people`, // target differs
+		`insert <b/> into /site`,        // forest differs
+		`insert //a into /site`,         // copy-of vs forest
+	} {
+		if Equivalent(base, parse(other)) {
+			t.Fatalf("Equivalent(%q, %q) = true", base.Source, other)
+		}
+	}
+	a := parse(`insert //x into /site`)
+	b := parse(`insert //y into /site`)
+	if Equivalent(a, b) {
+		t.Fatal("copy-of paths not compared")
+	}
+}
+
+// TestParseErrorPaths pins the parser's rejection paths: each input must
+// fail, and the error must carry the update: prefix with a hint of the
+// cause.
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		src  string
+		hint string // substring the error must contain
+	}{
+		{``, "expected delete, insert, replace, for, or let"},
+		{`upsert //a`, "expected delete, insert, replace, for, or let"},
+		{`delete`, "expected path"},
+		{`delete site`, "expected path"},
+		{`insert <a/>`, "expected 'into'"},
+		{`insert <a/> onto /site`, "expected 'into'"},
+		{`insert <a> into /site`, "unbalanced XML fragment"},
+		{`insert <a into /site`, "unterminated tag"},
+		{`replace //a`, "expected 'with'"},
+		{`replace //a with`, "expected XML fragment"},
+		{`replace //a with b`, "expected XML fragment"},
+		{`for $x insert <a/>`, "expected 'in'"},
+		{`for x in //a insert <b/>`, "expected variable"},
+		{`for $ in //a insert <b/>`, "empty variable name"},
+		{`for $x in //a delete //b`, "expected 'insert'"},
+		{`for $x in //a insert <b/> into $y`, "does not match loop variable"},
+		{`let $c doc("a") delete $c//a`, "expected := in let clause"},
+		{`let $c := dock("a") delete $c//a`, "expected doc(...) in let clause"},
+		{`let $c := doc(a) delete $c//a`, "expected string literal"},
+		{`let $c := doc("a delete $c//a`, "unterminated string literal"},
+		{`let $c := doc("a" delete $c//a`, "expected ) after doc uri"},
+		{`let $c := doc("a") delete $d//a`, "unknown variable"},
+		{`delete //a extra`, "trailing input"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.src, tc.hint)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "update:") && !strings.Contains(err.Error(), tc.hint) {
+			t.Errorf("Parse(%q) error %q, want hint %q", tc.src, err, tc.hint)
+		}
+		if !strings.Contains(err.Error(), tc.hint) {
+			t.Errorf("Parse(%q) error %q missing hint %q", tc.src, err, tc.hint)
+		}
+	}
+}
+
+// FuzzFormatRoundTrip: any statement the parser accepts must format to a
+// canonical text that reparses to an equivalent statement.
+func FuzzFormatRoundTrip(f *testing.F) {
+	for _, tc := range roundTripCases {
+		f.Add(tc.src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := Format(st)
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Format(%q) = %q does not reparse: %v", src, canon, err)
+		}
+		if !Equivalent(st, back) {
+			t.Fatalf("round trip of %q via %q lost information", src, canon)
+		}
+		if again := Format(back); again != canon {
+			t.Fatalf("Format not a fixpoint: %q then %q", canon, again)
+		}
+	})
+}

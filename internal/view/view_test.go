@@ -38,7 +38,7 @@ return $b/name/text()`
 		t.Fatal(err)
 	}
 	// /site/people/person[@id] with name{val} — root anchored.
-	want := "//site/people/person[/@id]/name{ID,val}"
+	want := "/site/people/person[/@id]/name{ID,val}"
 	if got := def.Pattern.String(); got != want {
 		t.Fatalf("pattern = %q want %q", got, want)
 	}

@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xivm/internal/algebra"
+	"xivm/internal/core"
+	"xivm/internal/dewey"
+	"xivm/internal/store"
+	"xivm/internal/xmltree"
+)
+
+// Checkpoint directories live next to the wal directory as
+// checkpoint-<lsn>; a trailing ".tmp" marks one still being written. The
+// rename from tmp to final name is the commit point: a crash before it
+// leaves only a tmp directory, which recovery ignores and Open sweeps away.
+const (
+	ckptPrefix = "checkpoint-"
+	ckptTmpExt = ".tmp"
+)
+
+func ckptName(lsn uint64) string { return fmt.Sprintf("%s%016x", ckptPrefix, lsn) }
+
+func parseCkptName(name string) (uint64, bool) {
+	base, ok := strings.CutPrefix(name, ckptPrefix)
+	if !ok || len(base) != 16 {
+		return 0, false
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(base, "%016x", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// writeCheckpoint writes a complete checkpoint of the engine — the document
+// as canonical XML plus every managed view via store.EncodeSnapshot, bound
+// together by a hashed manifest — into dir/checkpoint-<lsn>, atomically:
+// everything lands in a tmp directory, every file is fsynced, and a single
+// rename publishes it.
+func writeCheckpoint(fsys FS, m *walMetrics, dir string, eng *core.Engine, sources map[string]string, lsn uint64) error {
+	final := filepath.Join(dir, ckptName(lsn))
+	tmp := final + ckptTmpExt
+	if err := fsys.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := fsys.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	var total int64
+	writeFile := func(name string, data []byte) error {
+		f, err := fsys.OpenFile(filepath.Join(tmp, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		m.fsyncCount.Inc()
+		total += int64(len(data))
+		return f.Close()
+	}
+
+	man := store.NewManifest(lsn)
+	doc := []byte(eng.Doc.String())
+	man.SetDoc(doc)
+	if err := writeFile("doc.xml", doc); err != nil {
+		return err
+	}
+	rows, err := checkpointRows(eng, doc)
+	if err != nil {
+		return err
+	}
+	for _, mv := range eng.Views {
+		snap := store.EncodeSnapshot(store.NewMaterializedView(mv.Pattern, rows[mv.Name]))
+		man.AddView(mv.Name, sources[mv.Name], snap)
+		if err := writeFile(mv.Name+".xivm", snap); err != nil {
+			return err
+		}
+	}
+	// The manifest goes last: its presence implies every file it names was
+	// already written and fsynced.
+	if err := writeFile("MANIFEST", store.EncodeManifest(man)); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(tmp); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return err
+	}
+	m.ckptCount.Inc()
+	m.ckptBytes.Add(total)
+	return nil
+}
+
+// checkpointRows returns every managed view's rows rewritten into the ID
+// space of the serialized document. Recovery reparses doc.xml, and parsing
+// assigns fresh sequential Dewey IDs — after updates the live engine's IDs
+// (fractional, from dewey.Between) no longer match them, so snapshots of the
+// live rows would dangle. Both trees are walked in lockstep (serialization
+// preserves structure and document order) to build the old→new map; if the
+// shapes somehow diverge, the rows are re-evaluated on the fresh parse
+// instead — slower, but exactly what recovery will see.
+func checkpointRows(eng *core.Engine, docXML []byte) (map[string][]algebra.Row, error) {
+	fresh, err := xmltree.ParseString(string(docXML))
+	if err != nil {
+		return nil, fmt.Errorf("wal: checkpoint document does not reparse: %w", err)
+	}
+	out := make(map[string][]algebra.Row, len(eng.Views))
+	remap := make(map[string]dewey.ID)
+	if err := mapIDs(eng.Doc.Root, fresh.Root, remap); err != nil {
+		for _, mv := range eng.Views {
+			out[mv.Name] = algebra.Materialize(fresh, mv.Pattern)
+		}
+		return out, nil
+	}
+	for _, mv := range eng.Views {
+		live := mv.View.Rows()
+		rows := make([]algebra.Row, len(live))
+		for i, r := range live {
+			entries := make([]algebra.RowEntry, len(r.Entries))
+			for j, e := range r.Entries {
+				id, ok := remap[e.ID.Key()]
+				if !ok {
+					return nil, fmt.Errorf("wal: checkpoint: view %s binds unknown node %v", mv.Name, e.ID)
+				}
+				e.ID = id
+				entries[j] = e
+			}
+			// The remap preserves document order, so the rows stay sorted.
+			rows[i] = algebra.Row{Entries: entries, Count: r.Count}
+		}
+		out[mv.Name] = rows
+	}
+	return out, nil
+}
+
+// mapIDs pairs up two structurally identical trees node by node.
+func mapIDs(live, fresh *xmltree.Node, m map[string]dewey.ID) error {
+	if live.Kind != fresh.Kind || live.Label != fresh.Label || len(live.Children) != len(fresh.Children) {
+		return fmt.Errorf("wal: reparsed document diverges at %s", live.ID.Key())
+	}
+	m[live.ID.Key()] = fresh.ID
+	for i := range live.Children {
+		if err := mapIDs(live.Children[i], fresh.Children[i], m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// listCheckpoints returns the LSNs of the published checkpoints in dir,
+// ascending. Tmp directories and foreign entries are ignored.
+func listCheckpoints(fsys FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseCkptName(e.Name()); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}
+
+// checkpointImage is a loaded-and-verified checkpoint: the manifest, the
+// document XML, and each view's snapshot bytes (hash-checked, not yet
+// decoded).
+type checkpointImage struct {
+	Manifest *store.Manifest
+	DocXML   []byte
+	Views    map[string][]byte
+}
+
+// loadCheckpoint reads the checkpoint at lsn and verifies every content
+// hash before returning it. Any mismatch — torn manifest, bit-rotted file,
+// missing view — is an error; the caller falls back to an older checkpoint.
+func loadCheckpoint(fsys FS, dir string, lsn uint64) (*checkpointImage, error) {
+	base := filepath.Join(dir, ckptName(lsn))
+	raw, err := fsys.ReadFile(filepath.Join(base, "MANIFEST"))
+	if err != nil {
+		return nil, err
+	}
+	man, err := store.DecodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	if man.LSN != lsn {
+		return nil, fmt.Errorf("wal: checkpoint %s declares lsn %d", ckptName(lsn), man.LSN)
+	}
+	doc, err := fsys.ReadFile(filepath.Join(base, "doc.xml"))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(doc)) != man.DocBytes || store.HashBytes(doc) != man.DocHash {
+		return nil, fmt.Errorf("wal: checkpoint %s document fails its hash", ckptName(lsn))
+	}
+	img := &checkpointImage{Manifest: man, DocXML: doc, Views: make(map[string][]byte, len(man.Views))}
+	for _, v := range man.Views {
+		snap, err := fsys.ReadFile(filepath.Join(base, v.Name+".xivm"))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(snap)) != v.Bytes || store.HashBytes(snap) != v.Hash {
+			return nil, fmt.Errorf("wal: checkpoint %s view %s fails its hash", ckptName(lsn), v.Name)
+		}
+		img.Views[v.Name] = snap
+	}
+	return img, nil
+}
+
+// pruneCheckpoints removes published checkpoints beyond the newest keep,
+// and every leftover tmp directory.
+func pruneCheckpoints(fsys FS, dir string, keep int) error {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), ckptPrefix) && strings.HasSuffix(e.Name(), ckptTmpExt) {
+			if err := fsys.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	lsns, err := listCheckpoints(fsys, dir)
+	if err != nil {
+		return err
+	}
+	for len(lsns) > keep {
+		if err := fsys.RemoveAll(filepath.Join(dir, ckptName(lsns[0]))); err != nil {
+			return err
+		}
+		lsns = lsns[1:]
+	}
+	return fsys.SyncDir(dir)
+}

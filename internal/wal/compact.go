@@ -1,0 +1,180 @@
+package wal
+
+import (
+	"fmt"
+
+	"xivm/internal/pulopt"
+	"xivm/internal/update"
+	"xivm/internal/xmltree"
+)
+
+// Log compaction during recovery (Section 5's reduction rules applied to
+// the replay tail): instead of re-running every statement, the tail is
+// first expanded into elementary operations on a scratch copy of the
+// checkpoint document, reduced with pulopt (O1/O3 kill operations whose
+// target a later deletion removes, I5 merges insertions on one node), and
+// only the survivors are propagated through the engine — insert-then-delete
+// churn costs nothing to replay.
+//
+// Soundness is the delicate part: pulopt addresses nodes by Dewey ID, but
+// this repo's ordinal assignment (dewey.Between after the last sibling)
+// reuses freed ordinals, so the key of a deleted node can come back as a
+// different node — replace statements do it routinely. The collection phase
+// therefore runs entirely on the scratch document and ABORTS compaction —
+// falling back to eager statement replay — the moment it sees:
+//
+//   - an inserted node whose ID key was previously deleted (ordinal reuse:
+//     IDs are no longer unique across the tail, the rules' premise),
+//   - a view-registration record (AddView must happen at its exact point
+//     in the statement sequence),
+//   - a statement that part-applies (error after mutation), or an
+//     unrecognized record.
+//
+// Absent reuse, dropped operations provably cannot disturb the ordinal
+// assignment of surviving ones: an operation is dropped only when a later
+// surviving deletion removes its target (O1) or an enclosing subtree (O3),
+// and any insertion that would have landed in ordinal space freed by a
+// dropped deletion either dies with the same enclosing subtree or re-uses a
+// deleted key and trips the abort. Phase B still resolves every target by
+// NodeByID and falls back — rebuilding the engine from the checkpoint — if
+// the document disagrees.
+func (db *DB) replayCompacted(from uint64) (bool, error) {
+	var payloads [][]byte
+	if err := db.log.Replay(from, func(_ uint64, p []byte) error {
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if len(payloads) == 0 {
+		db.stats.Compacted = true
+		return true, nil
+	}
+	ops, replayed, skipped, ok := db.collectOps(payloads)
+	if !ok {
+		return false, nil
+	}
+	reduced := pulopt.Reduce(ops)
+	dropped := len(ops) - len(reduced)
+	if dropped == 0 {
+		return false, nil // nothing to save; the eager path is simpler
+	}
+	if err := db.applyOps(reduced); err != nil {
+		// The engine may be part-mutated; rebuild it from the checkpoint
+		// and let the eager path replay the tail from scratch.
+		if rerr := db.restore(db.ckptImg); rerr != nil {
+			return false, rerr
+		}
+		return false, nil
+	}
+	db.stats.Compacted = true
+	db.stats.CompactedOps = dropped
+	db.stats.Replayed += replayed
+	db.stats.Skipped += skipped
+	db.m.recCompacted.Add(int64(dropped))
+	for i := 0; i < replayed; i++ {
+		db.m.recReplayed.Inc()
+	}
+	for i := 0; i < skipped; i++ {
+		db.m.recSkipped.Inc()
+	}
+	return true, nil
+}
+
+// collectOps is the scratch phase: every tail statement runs against a
+// private copy of the checkpoint document (never the engine), recording the
+// elementary operations it expands to. ok=false means compaction cannot
+// prove itself sound and the caller must use the eager path.
+func (db *DB) collectOps(payloads [][]byte) (ops pulopt.Seq, replayed, skipped int, ok bool) {
+	scratch, err := xmltree.ParseString(string(db.ckptImg.DocXML))
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	deleted := map[string]bool{} // ID keys of every node ever deleted in the tail
+	for _, p := range payloads {
+		if len(p) == 0 || p[0] != recStatement {
+			return nil, 0, 0, false
+		}
+		st, err := update.Parse(string(p[1:]))
+		if err != nil {
+			skipped++
+			continue
+		}
+		var puls []*update.PUL
+		if st.Kind == update.Replace {
+			delPul, insPul, err := update.ExpandReplace(scratch, st)
+			if err != nil {
+				skipped++
+				continue
+			}
+			puls = append(puls, delPul, insPul)
+		} else {
+			pul, err := update.ComputePUL(scratch, st)
+			if err != nil {
+				skipped++
+				continue
+			}
+			puls = append(puls, pul)
+		}
+		for _, pul := range puls {
+			applied, err := update.Apply(scratch, nil, pul)
+			if err != nil {
+				return nil, 0, 0, false // part-applied statement
+			}
+			switch pul.Kind {
+			case update.Delete:
+				for _, r := range applied.DeletedRoots {
+					ops = append(ops, pulopt.Op{Kind: pulopt.Del, Target: r.ID})
+					xmltree.Walk(r, func(n *xmltree.Node) bool {
+						deleted[n.ID.Key()] = true
+						return true
+					})
+				}
+			case update.Insert:
+				for _, r := range applied.InsertedRoots {
+					if r.Parent == nil {
+						return nil, 0, 0, false
+					}
+					reused := false
+					xmltree.Walk(r, func(n *xmltree.Node) bool {
+						if deleted[n.ID.Key()] {
+							reused = true
+							return false
+						}
+						return true
+					})
+					if reused {
+						return nil, 0, 0, false
+					}
+					ops = append(ops, pulopt.Op{Kind: pulopt.InsLast, Target: r.Parent.ID, Forest: []*xmltree.Node{r}})
+				}
+			}
+		}
+		replayed++
+	}
+	return ops, replayed, skipped, true
+}
+
+// applyOps propagates the reduced operations through the real engine, one
+// PUL per operation so the effect order matches the reduced sequence
+// exactly. The scratch-assigned IDs resolve against the engine's document
+// because both start from the same checkpoint and (absent the aborts above)
+// apply the same surviving operations in the same order.
+func (db *DB) applyOps(ops pulopt.Seq) error {
+	for _, op := range ops {
+		n := db.eng.Doc.NodeByID(op.Target)
+		if n == nil {
+			return fmt.Errorf("wal: compacted replay: no node at %v", op.Target)
+		}
+		var pul *update.PUL
+		if op.Kind == pulopt.Del {
+			pul = &update.PUL{Kind: update.Delete, Deletes: []*xmltree.Node{n}}
+		} else {
+			pul = &update.PUL{Kind: update.Insert, Inserts: []update.PendingInsert{{Target: n, Trees: op.Forest}}}
+		}
+		if _, err := db.eng.ApplyPUL(pul); err != nil {
+			return err
+		}
+	}
+	return nil
+}

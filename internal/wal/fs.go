@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the narrow filesystem surface the durability layer writes through.
+// Production code uses OSFS; the fault-injection harness (failpoint.go)
+// substitutes an implementation that tears writes and crashes between
+// operations, which is how the crash-matrix tests drive every recovery
+// path without real power cuts.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(name string, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(name string) error
+	// Truncate cuts name to size bytes — the torn-tail rule's teeth.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and file
+	// creations durable on POSIX filesystems.
+	SyncDir(name string) error
+}
+
+// File is the writable handle FS hands out.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(name string) error                  { return os.RemoveAll(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,404 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xivm/internal/obs"
+)
+
+func collectRecords(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	if err := l.Replay(from, func(lsn uint64, payload []byte) error {
+		got[lsn] = string(payload)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestLogAppendReopenReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn %d want %d", lsn, i)
+		}
+	}
+	if l.LastLSN() != 5 {
+		t.Fatalf("LastLSN %d", l.LastLSN())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 5 || l2.Truncated() != 0 {
+		t.Fatalf("LastLSN %d truncated %d", l2.LastLSN(), l2.Truncated())
+	}
+	got := collectRecords(t, l2, 1)
+	if len(got) != 5 || got[3] != "rec-3" {
+		t.Fatalf("replayed %v", got)
+	}
+	if got := collectRecords(t, l2, 4); len(got) != 2 || got[4] != "rec-4" {
+		t.Fatalf("partial replay %v", got)
+	}
+	// Appends continue the sequence after reopen.
+	if lsn, err := l2.Append([]byte("rec-6")); err != nil || lsn != 6 {
+		t.Fatalf("append after reopen: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestLogRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	l, err := OpenLog(dir, LogOptions{SegmentBytes: 64, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte("0123456789abcdef")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 3 {
+		t.Fatalf("expected several segments, got %d", len(entries))
+	}
+	// Records ≤ 10 become removable once their segments are fully behind
+	// the horizon.
+	if err := l.RotateAndTruncate(10); err != nil {
+		t.Fatal(err)
+	}
+	got := collectRecords(t, l, 1)
+	// Everything after the horizon must survive; some records ≤ 10 may
+	// survive too (their segment straddles the horizon).
+	for lsn := uint64(11); lsn <= 20; lsn++ {
+		if _, ok := got[lsn]; !ok {
+			t.Fatalf("record %d lost by truncation", lsn)
+		}
+	}
+	after, _ := os.ReadDir(dir)
+	if len(after) >= len(entries) {
+		t.Fatalf("truncation removed nothing (%d -> %d segments)", len(entries), len(after))
+	}
+	// The next append starts a fresh segment and continues the sequence.
+	if lsn, err := l.Append([]byte("next")); err != nil || lsn != 21 {
+		t.Fatalf("append after truncate: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(dir, LogOptions{SegmentBytes: 64, Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 21 || l2.Truncated() != 0 {
+		t.Fatalf("reopen after truncate: last=%d torn=%d", l2.LastLSN(), l2.Truncated())
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok {
+			last = filepath.Join(dir, e.Name())
+		}
+	}
+	if last == "" {
+		t.Fatal("no segments")
+	}
+	return last
+}
+
+func buildLog(t *testing.T, dir string, n int) {
+	t.Helper()
+	l, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogTornTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 3)
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := []byte{0xde, 0xad, 0xbe, 0xef, 0x01}
+	f.Write(garbage)
+	f.Close()
+
+	reg := obs.New()
+	l, err := OpenLog(dir, LogOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Truncated() != int64(len(garbage)) {
+		t.Fatalf("truncated %d want %d", l.Truncated(), len(garbage))
+	}
+	if reg.Counter("wal.recover.truncated").Value() != int64(len(garbage)) {
+		t.Fatal("wal.recover.truncated not counted")
+	}
+	if got := collectRecords(t, l, 1); len(got) != 3 {
+		t.Fatalf("records after cut: %v", got)
+	}
+}
+
+func TestLogTornPartialFrame(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 3)
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	// Cut into the last frame: its header survives but the payload is
+	// short, so the length check rejects it.
+	if err := os.WriteFile(seg, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Truncated() == 0 {
+		t.Fatal("no truncation reported")
+	}
+	got := collectRecords(t, l, 1)
+	if len(got) != 2 || got[2] != "rec-2" {
+		t.Fatalf("records %v", got)
+	}
+	if l.LastLSN() != 2 {
+		t.Fatalf("LastLSN %d", l.LastLSN())
+	}
+	// The sequence resumes at the cut: the torn record's LSN is reused.
+	if lsn, err := l.Append([]byte("rec-3b")); err != nil || lsn != 3 {
+		t.Fatalf("append after cut: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestLogTornMiddleDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 5)
+	seg := lastSegment(t, dir)
+	data, _ := os.ReadFile(seg)
+	// Flip one payload byte of the second frame: its CRC fails, and
+	// everything from there on — frames 2..5 — is the torn tail.
+	frame1 := frameHeader + len("rec-1")
+	data[frame1+frameHeader] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := collectRecords(t, l, 1)
+	if len(got) != 1 || got[1] != "rec-1" {
+		t.Fatalf("records %v", got)
+	}
+	if l.Truncated() != int64(len(data)-frame1) {
+		t.Fatalf("truncated %d want %d", l.Truncated(), len(data)-frame1)
+	}
+}
+
+func TestLogTornSegmentDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{SegmentBytes: 64, Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(entries))
+	}
+	// Corrupt the FIRST frame of the second segment: the whole second
+	// segment and every later one must go.
+	second := filepath.Join(dir, entries[1].Name())
+	data, _ := os.ReadFile(second)
+	data[frameHeader] ^= 0xFF
+	os.WriteFile(second, data, 0o644)
+
+	l2, err := OpenLog(dir, LogOptions{SegmentBytes: 64, Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	firstLSN, _ := parseSegName(entries[1].Name())
+	if l2.LastLSN() != firstLSN-1 {
+		t.Fatalf("LastLSN %d want %d", l2.LastLSN(), firstLSN-1)
+	}
+	if l2.Truncated() == 0 {
+		t.Fatal("no truncation reported")
+	}
+	after, _ := os.ReadDir(dir)
+	if len(after) != 1 {
+		t.Fatalf("later segments not removed: %d left", len(after))
+	}
+}
+
+func TestLogGapSegmentDropped(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 2)
+	// Fabricate a segment whose name does not continue the chain.
+	bogus := filepath.Join(dir, segName(99))
+	if err := os.WriteFile(bogus, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.LastLSN() != 2 {
+		t.Fatalf("LastLSN %d", l.LastLSN())
+	}
+	if _, err := os.Stat(bogus); !os.IsNotExist(err) {
+		t.Fatal("gap segment survived")
+	}
+}
+
+func TestLogReset(t *testing.T) {
+	dir := t.TempDir()
+	buildLog(t, dir, 4)
+	l, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(100); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastLSN() != 99 {
+		t.Fatalf("LastLSN %d", l.LastLSN())
+	}
+	if lsn, err := l.Append([]byte("fresh")); err != nil || lsn != 100 {
+		t.Fatalf("append after reset: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(dir, LogOptions{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collectRecords(t, l2, 1)
+	if len(got) != 1 || got[100] != "fresh" {
+		t.Fatalf("records %v", got)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		dir := t.TempDir()
+		reg := obs.New()
+		l, err := OpenLog(dir, LogOptions{Policy: policy, Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := l.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		fsyncs := reg.Counter("wal.fsync.count").Value()
+		switch policy {
+		case SyncAlways:
+			if fsyncs < 10 {
+				t.Fatalf("always: %d fsyncs", fsyncs)
+			}
+		case SyncNever:
+			if fsyncs != 1 { // only the explicit Sync
+				t.Fatalf("never: %d fsyncs", fsyncs)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want SyncPolicy
+	}{{"always", SyncAlways}, {"interval", SyncInterval}, {"never", SyncNever}} {
+		got, err := ParseSyncPolicy(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("%s: %v %v", c.in, got, err)
+		}
+		if got.String() != c.in {
+			t.Fatalf("round trip %q -> %q", c.in, got)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestAppendBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.New()
+	l, err := OpenLog(dir, LogOptions{Policy: SyncAlways, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	first, err := l.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	if err != nil || first != 1 {
+		t.Fatalf("batch: first=%d err=%v", first, err)
+	}
+	if got := reg.Counter("wal.fsync.count").Value(); got != 1 {
+		t.Fatalf("batch fsynced %d times, want 1", got)
+	}
+	if l.LastLSN() != 3 {
+		t.Fatalf("LastLSN %d", l.LastLSN())
+	}
+	if _, err := l.AppendBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"xivm/internal/pattern"
+	"xivm/internal/update"
+)
+
+// RecoveryStats reports what Open did to reach a consistent state.
+type RecoveryStats struct {
+	// CheckpointLSN is the LSN of the checkpoint recovery started from.
+	CheckpointLSN uint64
+	// Replayed counts log records whose effect was re-applied.
+	Replayed int
+	// Skipped counts log records recovery could not or need not apply:
+	// unparseable payloads and statements the engine rejected. Both fail
+	// deterministically — they had no effect originally either.
+	Skipped int
+	// TruncatedBytes is the torn tail cut from the log before replay.
+	TruncatedBytes int64
+	// BadCheckpoints counts checkpoints rejected before a valid one loaded.
+	BadCheckpoints int
+	// Compacted reports that the pulopt-compacted replay path ran (rather
+	// than aborting to the eager path); CompactedOps is how many elementary
+	// operations the reduction rules removed from the tail.
+	Compacted    bool
+	CompactedOps int
+}
+
+// replay re-applies the log suffix after the checkpoint. With compaction
+// enabled it first tries the pulopt path, which must prove itself sound on
+// a scratch document before the real engine is touched; any doubt falls
+// back to the eager statement-by-statement path.
+func (db *DB) replay(from uint64) error {
+	db.replaying = true
+	defer func() { db.replaying = false }()
+	if db.opts.Compact {
+		done, err := db.replayCompacted(from)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	return db.replayEager(from)
+}
+
+// replayEager re-runs every surviving record through the engine, exactly as
+// it ran originally.
+func (db *DB) replayEager(from uint64) error {
+	return db.log.Replay(from, func(lsn uint64, payload []byte) error {
+		db.applyRecord(payload)
+		return nil
+	})
+}
+
+// applyRecord applies one log record during replay. Failures are counted
+// and skipped, never fatal: a record that fails to parse or that the engine
+// rejects failed identically when it was first journaled (parsing and
+// target resolution are deterministic), so skipping reproduces the original
+// outcome.
+func (db *DB) applyRecord(payload []byte) {
+	if len(payload) == 0 {
+		db.skipRecord()
+		return
+	}
+	switch payload[0] {
+	case recStatement:
+		st, err := update.Parse(string(payload[1:]))
+		if err != nil {
+			db.skipRecord()
+			return
+		}
+		if _, err := db.eng.ApplyStatement(st); err != nil {
+			db.skipRecord()
+			return
+		}
+	case recView:
+		name, src, err := decodeViewRecord(payload)
+		if err != nil {
+			db.skipRecord()
+			return
+		}
+		p, err := pattern.Parse(src)
+		if err != nil {
+			db.skipRecord()
+			return
+		}
+		if _, err := db.eng.AddView(name, p); err != nil {
+			db.skipRecord()
+			return
+		}
+		db.sources[name] = src
+		db.order = append(db.order, name)
+	default:
+		db.skipRecord()
+		return
+	}
+	db.stats.Replayed++
+	db.m.recReplayed.Inc()
+}
+
+func (db *DB) skipRecord() {
+	db.stats.Skipped++
+	db.m.recSkipped.Inc()
+}
