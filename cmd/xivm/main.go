@@ -28,19 +28,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof" // -serve exposes /debug/pprof
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"xivm/internal/algebra"
 	"xivm/internal/core"
 	"xivm/internal/obs"
 	"xivm/internal/pattern"
+	"xivm/internal/server"
 	"xivm/internal/store"
 	"xivm/internal/update"
 	"xivm/internal/view"
@@ -79,16 +83,52 @@ func run() error {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "durable mode: checkpoint automatically after this many journaled records (0 = never)")
 	compactRecovery := flag.Bool("compact-recovery", false, "durable mode: compact the replay tail with the PUL reduction rules")
 	verifyRecovery := flag.Bool("verify-recovery", false, "open -data-dir, report what recovery did, verify every view against a fresh evaluation, and exit")
+	listenAddr := flag.String("listen", "", "serve the query/update HTTP API on this address (e.g. :8080) until interrupted")
+	queueDepth := flag.Int("queue-depth", 64, "-listen mode: bounded apply-queue depth (full queue rejects with 429)")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "-listen mode: per-request deadline for updates")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "-listen mode: graceful-drain budget on shutdown")
 	flag.Parse()
+
+	// SIGINT/SIGTERM trigger a graceful drain everywhere: statement loops
+	// stop between statements (the WAL group-commit window still flushes
+	// through the normal exit path), the -listen server finishes in-flight
+	// requests, and the -serve debug listener drains before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *serveAddr != "" {
 		obs.PublishExpvar("xivm", obs.Default())
-		go func() { _ = http.ListenAndServe(*serveAddr, nil) }()
+		shutdown, err := server.ServeDebug(*serveAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
 		fmt.Printf("serving pprof/expvar on %s\n", *serveAddr)
 	}
 
+	if *listenAddr != "" {
+		return runListen(ctx, listenConfig{
+			addr:           *listenAddr,
+			queueDepth:     *queueDepth,
+			requestTimeout: *requestTimeout,
+			drainTimeout:   *drainTimeout,
+		}, durableConfig{
+			dir:             *dataDir,
+			docPath:         *docPath,
+			views:           views,
+			patterns:        patterns,
+			policy:          *policy,
+			engine:          *engine,
+			fsync:           *fsync,
+			fsyncInterval:   *fsyncInterval,
+			checkpointEvery: *checkpointEvery,
+			compact:         *compactRecovery,
+			statements:      flag.Args(),
+		})
+	}
+
 	if *dataDir != "" {
-		return runDurable(durableConfig{
+		return runDurable(ctx, durableConfig{
 			dir:             *dataDir,
 			docPath:         *docPath,
 			views:           views,
@@ -187,6 +227,10 @@ func run() error {
 		lazy = core.NewLazy(e)
 	}
 	for _, stmt := range flag.Args() {
+		if ctx.Err() != nil {
+			fmt.Println("\ninterrupted: remaining statements skipped")
+			break
+		}
 		st, err := update.Parse(stmt)
 		if err != nil {
 			return err
@@ -313,8 +357,9 @@ type durableConfig struct {
 
 // runDurable is the -data-dir mode: every statement goes through the
 // write-ahead log, and the directory recovers to the acknowledged state on
-// the next run.
-func runDurable(cfg durableConfig) error {
+// the next run. Cancelling ctx stops between statements; everything
+// acknowledged so far is synced on the way out.
+func runDurable(ctx context.Context, cfg durableConfig) error {
 	if cfg.engine != "incr" {
 		return fmt.Errorf("-data-dir supports only -engine incr (the log replays through the incremental engine)")
 	}
@@ -404,12 +449,20 @@ func runDurable(cfg durableConfig) error {
 	}
 
 	for _, stmt := range cfg.statements {
+		if ctx.Err() != nil {
+			fmt.Println("\ninterrupted: remaining statements skipped")
+			break
+		}
 		st, err := update.Parse(stmt)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("\n>> %s\n", stmt)
-		rep, err := db.Apply(st)
+		rep, err := db.ApplyCtx(ctx, st)
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("interrupted: statement aborted, views repaired")
+			break
+		}
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"xivm/internal/core"
+	"xivm/internal/pattern"
+	"xivm/internal/server"
+	"xivm/internal/update"
+	"xivm/internal/view"
+	"xivm/internal/wal"
+	"xivm/internal/xmltree"
+)
+
+type listenConfig struct {
+	addr           string
+	queueDepth     int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+}
+
+// runListen is the -listen mode: it builds a backend (WAL-durable when
+// -data-dir is set, in-memory otherwise), applies any trailing statements,
+// then serves the query/update HTTP API until ctx is cancelled by a
+// signal. Shutdown is a graceful drain: the listener finishes in-flight
+// HTTP requests, the apply loop drains every accepted update, and the
+// backend syncs (flushing the WAL group-commit window) before exit.
+func runListen(ctx context.Context, lc listenConfig, cfg durableConfig) error {
+	if cfg.engine != "incr" {
+		return fmt.Errorf("-listen supports only -engine incr")
+	}
+	specs, err := compileViewSpecs(cfg.views, cfg.patterns)
+	if err != nil {
+		return err
+	}
+
+	var backend server.Backend
+	closeBackend := func() error { return nil }
+	if cfg.dir != "" {
+		policy, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		eopts, err := policyOptions(cfg.policy)
+		if err != nil {
+			return err
+		}
+		opts := wal.Options{
+			Sync:            policy,
+			SyncInterval:    cfg.fsyncInterval,
+			CheckpointEvery: cfg.checkpointEvery,
+			Compact:         cfg.compact,
+			Engine:          eopts,
+		}
+		var db *wal.DB
+		if cfg.docPath != "" {
+			docXML, err := os.ReadFile(cfg.docPath)
+			if err != nil {
+				return err
+			}
+			db, err = wal.OpenOrCreate(cfg.dir, docXML, opts)
+			if err != nil {
+				return err
+			}
+		} else {
+			db, err = wal.Open(cfg.dir, opts)
+			if err != nil {
+				return fmt.Errorf("%w (pass -doc to create a new database)", err)
+			}
+		}
+		printRecovery(db)
+		for _, s := range specs {
+			if db.HasView(s.name) {
+				fmt.Printf("view %-8s (recovered)\n", s.name)
+				continue
+			}
+			mv, err := db.AddView(s.name, s.p.String())
+			if err != nil {
+				db.Close()
+				return err
+			}
+			fmt.Printf("view %-8s %s  (%d rows)\n", s.name, s.p, mv.View.Len())
+		}
+		if len(db.Engine().Views) == 0 {
+			db.Close()
+			return fmt.Errorf("no views declared (-view / -pattern) and none recovered")
+		}
+		backend, closeBackend = db, db.Close
+	} else {
+		if cfg.docPath == "" {
+			return fmt.Errorf("-doc is required (or -data-dir to reopen a durable database)")
+		}
+		f, err := os.Open(cfg.docPath)
+		if err != nil {
+			return err
+		}
+		doc, err := xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		eopts, err := policyOptions(cfg.policy)
+		if err != nil {
+			return err
+		}
+		e := core.New(doc, eopts...)
+		for _, s := range specs {
+			mv, err := e.AddView(s.name, s.p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("view %-8s %s  (%d rows)\n", s.name, s.p, mv.View.Len())
+		}
+		if len(e.Views) == 0 {
+			return fmt.Errorf("no views declared (-view / -pattern)")
+		}
+		backend = server.EngineBackend{Eng: e}
+	}
+
+	srv := server.New(backend, server.Config{
+		QueueDepth:     lc.queueDepth,
+		RequestTimeout: lc.requestTimeout,
+	})
+	for _, stmt := range cfg.statements {
+		st, err := update.Parse(stmt)
+		if err != nil {
+			return err
+		}
+		if _, version, err := srv.Apply(ctx, st); err != nil {
+			return fmt.Errorf("apply %q: %w", stmt, err)
+		} else {
+			fmt.Printf(">> %s  (version %d)\n", stmt, version)
+		}
+	}
+
+	ln, err := net.Listen("tcp", lc.addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("serving query/update API on %s (version %d, %d views)\n",
+		ln.Addr(), srv.Epoch().Version, len(srv.Epoch().Views))
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down: draining requests and apply queue…")
+	dctx, cancel := context.WithTimeout(context.Background(), lc.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "xivm: http drain:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "xivm: apply-queue drain:", err)
+	}
+	if err := closeBackend(); err != nil {
+		return err
+	}
+	fmt.Printf("drained at version %d\n", srv.Epoch().Version)
+	return nil
+}
+
+type namedPattern struct {
+	name string
+	p    *pattern.Pattern
+}
+
+// compileViewSpecs resolves -view (conjunctive XQuery dialect) and
+// -pattern (tree pattern) declarations to named patterns.
+func compileViewSpecs(views, patterns []string) ([]namedPattern, error) {
+	var out []namedPattern
+	add := func(spec string, compile func(string) (*pattern.Pattern, error)) error {
+		name, src, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("view spec %q must be NAME=DEFINITION", spec)
+		}
+		p, err := compile(src)
+		if err != nil {
+			return fmt.Errorf("view %s: %w", name, err)
+		}
+		out = append(out, namedPattern{name: name, p: p})
+		return nil
+	}
+	for _, spec := range views {
+		if err := add(spec, func(src string) (*pattern.Pattern, error) {
+			def, err := view.Compile(src)
+			if err != nil {
+				return nil, err
+			}
+			return def.Pattern, nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range patterns {
+		if err := add(spec, pattern.Parse); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

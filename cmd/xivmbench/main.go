@@ -18,12 +18,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof" // -serve exposes /debug/pprof
 	"os"
 
 	"xivm/internal/bench"
 	"xivm/internal/obs"
+	"xivm/internal/server"
 )
 
 func main() {
@@ -56,7 +56,12 @@ func main() {
 
 	if *serveAddr != "" {
 		obs.PublishExpvar("xivm", obs.Default())
-		go func() { _ = http.ListenAndServe(*serveAddr, nil) }()
+		shutdown, err := server.ServeDebug(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xivmbench:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
 		fmt.Fprintf(os.Stderr, "serving pprof/expvar on %s\n", *serveAddr)
 	}
 

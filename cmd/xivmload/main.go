@@ -1,0 +1,303 @@
+// Command xivmload generates load against a running xivm serving API
+// (xivm -listen) and reports throughput, latency, and error mix — the
+// measurement companion to the serving layer the way xivmbench is to the
+// maintenance engine.
+//
+// Usage:
+//
+//	xivmload -addr http://localhost:8080 [-readers 8] [-writers 2] [-duration 10s]
+//	xivmload -selfserve [-scale 1] …
+//
+// Readers alternate view queries (discovered via /v1/views) and XPath
+// queries; writers cycle update statements (-stmt, or a built-in XMark mix)
+// through POST /v1/update, counting 429 backpressure rejections separately
+// from hard failures. -selfserve starts an in-process server over a
+// generated XMark document on an ephemeral localhost port first — the CI
+// smoke mode, exercising the full HTTP stack with no external setup.
+//
+// The exit status is non-zero if any hard error occurred (connection
+// failures, 5xx, malformed responses), so a smoke run doubles as a check.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"xivm/internal/core"
+	"xivm/internal/obs"
+	"xivm/internal/server"
+	"xivm/internal/update"
+	"xivm/internal/xmark"
+	"xivm/internal/xmltree"
+)
+
+type stmtFlag []string
+
+func (m *stmtFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *stmtFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// defaultStatements is a balanced XMark update mix: inserts and deletes
+// roughly cancel so a long run does not grow the document unboundedly.
+var defaultStatements = []string{
+	`insert <person id="pload"><name>Load Person</name><phone>+1 555 0101</phone></person> into /site/people`,
+	`for $x in /site/open_auctions/open_auction insert <bidder><date>03/03/2021</date><increase>3.00</increase></bidder>`,
+	`delete /site/people/person/phone`,
+	`delete /site/open_auctions/open_auction/bidder`,
+}
+
+var defaultQueries = []string{
+	`/site/people/person/name`,
+	`/site/open_auctions/open_auction/bidder/increase`,
+}
+
+// opStats aggregates one operation class with lock-free hot-path updates.
+type opStats struct {
+	count    atomic.Int64
+	rejected atomic.Int64 // 429 backpressure (writers only)
+	errors   atomic.Int64
+	totalNS  atomic.Int64
+	maxNS    atomic.Int64
+}
+
+func (s *opStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	s.count.Add(1)
+	s.totalNS.Add(ns)
+	for {
+		cur := s.maxNS.Load()
+		if ns <= cur || s.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+func (s *opStats) report(w *strings.Builder, name string, elapsed time.Duration) {
+	n := s.count.Load()
+	var mean time.Duration
+	if n > 0 {
+		mean = time.Duration(s.totalNS.Load() / n)
+	}
+	fmt.Fprintf(w, "%-8s %8d ok  %8.1f/s  mean %-10v max %-10v",
+		name, n, float64(n)/elapsed.Seconds(), mean, time.Duration(s.maxNS.Load()))
+	if r := s.rejected.Load(); r > 0 {
+		fmt.Fprintf(w, "  %d rejected (429)", r)
+	}
+	if e := s.errors.Load(); e > 0 {
+		fmt.Fprintf(w, "  %d ERRORS", e)
+	}
+	w.WriteByte('\n')
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xivmload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var stmts stmtFlag
+	var queries stmtFlag
+	addr := flag.String("addr", "", "base URL of a running xivm -listen server (e.g. http://localhost:8080)")
+	selfserve := flag.Bool("selfserve", false, "start an in-process server over a generated XMark document instead of targeting -addr")
+	scale := flag.Uint64("scale", 1, "-selfserve: XMark small-document scale factor")
+	readers := flag.Int("readers", 8, "concurrent reader goroutines")
+	writers := flag.Int("writers", 2, "concurrent writer goroutines")
+	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	flag.Var(&stmts, "stmt", "update statement for writers (repeatable; default: built-in XMark mix)")
+	flag.Var(&queries, "xpath", "XPath query for readers (repeatable; default: built-in XMark queries)")
+	flag.Parse()
+	if len(stmts) == 0 {
+		stmts = defaultStatements
+	}
+	if len(queries) == 0 {
+		queries = defaultQueries
+	}
+	for _, s := range stmts {
+		if _, err := update.Parse(s); err != nil {
+			return fmt.Errorf("-stmt %q: %w", s, err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *addr
+	if *selfserve {
+		doc, err := xmltree.ParseString(xmark.GenerateSmall(*scale))
+		if err != nil {
+			return err
+		}
+		eng := core.New(doc, core.WithMetrics(obs.New()))
+		for _, name := range []string{"Q1", "Q2"} {
+			if _, err := eng.AddView(name, xmark.View(name)); err != nil {
+				return err
+			}
+		}
+		srv := server.New(server.EngineBackend{Eng: eng}, server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(dctx)
+			_ = srv.Shutdown(dctx)
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("self-serving on %s\n", base)
+	}
+	if base == "" {
+		return fmt.Errorf("-addr or -selfserve required")
+	}
+	base = strings.TrimRight(base, "/")
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	views, err := discoverViews(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("targeting %s: views %s, %d readers, %d writers, %v\n",
+		base, strings.Join(views, " "), *readers, *writers, *duration)
+
+	var readStats, xpathStats, writeStats opStats
+	runCtx, cancel := context.WithTimeout(ctx, *duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; runCtx.Err() == nil; i++ {
+				if i%2 == 0 && len(views) > 0 {
+					readView(client, base, views[i%len(views)], &readStats)
+				} else {
+					readXPath(client, base, queries[i%len(queries)], &xpathStats)
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; runCtx.Err() == nil; i++ {
+				writeUpdate(client, base, stmts[i%len(stmts)], &writeStats)
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%v elapsed\n", elapsed.Round(time.Millisecond))
+	readStats.report(&b, "views", elapsed)
+	xpathStats.report(&b, "xpath", elapsed)
+	writeStats.report(&b, "updates", elapsed)
+	fmt.Print(b.String())
+
+	if n := readStats.errors.Load() + xpathStats.errors.Load() + writeStats.errors.Load(); n > 0 {
+		return fmt.Errorf("%d request(s) failed", n)
+	}
+	if readStats.count.Load()+xpathStats.count.Load() == 0 || writeStats.count.Load() == 0 {
+		return fmt.Errorf("no load generated (reads %d, writes %d)",
+			readStats.count.Load()+xpathStats.count.Load(), writeStats.count.Load())
+	}
+	return nil
+}
+
+func discoverViews(client *http.Client, base string) ([]string, error) {
+	resp, err := client.Get(base + "/v1/views")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/views: status %d", resp.StatusCode)
+	}
+	var vr server.ViewsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(vr.Views))
+	for _, v := range vr.Views {
+		names = append(names, v.Name)
+	}
+	return names, nil
+}
+
+func readView(client *http.Client, base, name string, st *opStats) {
+	t0 := time.Now()
+	resp, err := client.Get(base + "/v1/views/" + url.PathEscape(name))
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var vr server.ViewResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&vr) != nil {
+		st.errors.Add(1)
+		return
+	}
+	st.observe(time.Since(t0))
+}
+
+func readXPath(client *http.Client, base, q string, st *opStats) {
+	t0 := time.Now()
+	resp, err := client.Get(base + "/v1/xpath?q=" + url.QueryEscape(q))
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var xr server.XPathResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&xr) != nil {
+		st.errors.Add(1)
+		return
+	}
+	st.observe(time.Since(t0))
+}
+
+func writeUpdate(client *http.Client, base, stmt string, st *opStats) {
+	t0 := time.Now()
+	body, _ := json.Marshal(server.UpdateRequest{Statement: stmt})
+	resp, err := client.Post(base+"/v1/update", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ur server.UpdateResponse
+		if json.NewDecoder(resp.Body).Decode(&ur) != nil {
+			st.errors.Add(1)
+			return
+		}
+		st.observe(time.Since(t0))
+	case http.StatusTooManyRequests:
+		// Backpressure is the designed behavior under overload, not an
+		// error: count it and back off briefly.
+		st.rejected.Add(1)
+		time.Sleep(time.Millisecond)
+	default:
+		st.errors.Add(1)
+	}
+}

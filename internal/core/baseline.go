@@ -39,6 +39,7 @@ func (e *Engine) FullRecompute(st *update.Statement) (time.Duration, error) {
 }
 
 func (e *Engine) recomputeAll() time.Duration {
+	e.bumpVersion()
 	start := time.Now()
 	for _, mv := range e.Views {
 		// A from-scratch recomputation has no incremental infrastructure to

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xivm/internal/algebra"
@@ -115,7 +116,25 @@ type Engine struct {
 	join  algebra.JoinFunc // physical join, instrumented
 	m     *engineMetrics
 	proj  algebra.ProjectCounters
+
+	// version counts successfully applied mutation batches (statements,
+	// PULs, deferred applies, baseline recomputations). It identifies
+	// document states: two engines fed the same statement sequence reach
+	// the same version at the same state, which is what lets snapshot
+	// consumers key expected view contents by version. Atomic so readers
+	// of a published Snapshot can compare against the live counter.
+	version atomic.Uint64
 }
+
+// Version returns the number of mutation batches successfully applied to
+// the document since construction. It advances exactly once per applied
+// statement for inserts and deletes and twice for replaces (whose delete
+// and insert halves are separate batches).
+func (e *Engine) Version() uint64 { return e.version.Load() }
+
+// bumpVersion marks one mutation batch applied; every path that mutates
+// the document calls it after the document and store are consistent.
+func (e *Engine) bumpVersion() { e.version.Add(1) }
 
 // ManagedView is one materialized view under maintenance.
 type ManagedView struct {
@@ -294,6 +313,11 @@ type ViewReport struct {
 	// before returning, so it is stale-proof but the incremental path was
 	// not exercised.
 	Cancelled bool
+	// Panicked reports that this view's propagation panicked (a bug in a
+	// custom join, a corrupted lattice). The panic is contained to the
+	// view: the engine repaired it by recomputation before returning, so a
+	// long-lived writer loop survives a poisoned propagation path.
+	Panicked bool
 }
 
 // Timings returns the view's breakdown in the legacy fixed-field form
@@ -504,11 +528,15 @@ func (e *Engine) applyPUL(ctx context.Context, pul *update.PUL, skip map[*Manage
 		})
 	}
 	// Repair passes run against the now-synced store: first views whose
-	// algebraic propagation was cancelled mid-stream, then views whose
-	// predicates flipped. Both end in a consistent recomputed state.
+	// algebraic propagation was cancelled or panicked mid-stream, then
+	// views whose predicates flipped. All end in a consistent recomputed
+	// state.
 	for i := range rep.Views {
 		if rep.Views[i].Cancelled {
 			e.m.viewsCancelled.Inc()
+			e.recomputeFallback(rep.Views[i].View)
+		} else if rep.Views[i].Panicked {
+			e.m.viewsPanicked.Inc()
 			e.recomputeFallback(rep.Views[i].View)
 		}
 	}
@@ -524,6 +552,7 @@ func (e *Engine) applyPUL(ctx context.Context, pul *update.PUL, skip map[*Manage
 	for i := range rep.Views {
 		e.m.recordView(&rep.Views[i])
 	}
+	e.bumpVersion()
 	return rep, nil
 }
 
@@ -532,12 +561,21 @@ func (e *Engine) applyPUL(ctx context.Context, pul *update.PUL, skip map[*Manage
 // read-only for the duration (guaranteed by the ApplyPUL phase ordering).
 // Context cancellation is honored between views: a view whose propagation
 // has not started when ctx is cancelled is marked Cancelled instead of
-// being propagated (the caller repairs it afterwards).
+// being propagated (the caller repairs it afterwards). A panic inside one
+// view's propagation is likewise contained — the view is marked Panicked
+// and repaired by recomputation — so a single poisoned view cannot take
+// down the whole apply path (or, under Parallel, the entire process via an
+// unrecovered goroutine panic).
 func (e *Engine) propagateAll(ctx context.Context, skip map[*ManagedView]bool, f func(*ManagedView) ViewReport) []ViewReport {
-	propagate := func(mv *ManagedView) ViewReport {
+	propagate := func(mv *ManagedView) (vr ViewReport) {
 		if ctx.Err() != nil {
 			return ViewReport{View: mv, Cancelled: true}
 		}
+		defer func() {
+			if r := recover(); r != nil {
+				vr = ViewReport{View: mv, Panicked: true}
+			}
+		}()
 		end := e.span("view:" + mv.Name)
 		defer end()
 		return f(mv)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"xivm/internal/obs"
@@ -13,11 +14,13 @@ import (
 
 // cancelOnSpan is a tracer that cancels a context the Nth time a span whose
 // name matches the prefix starts — a deterministic way to cancel mid-pass
-// without sleeping.
+// without sleeping. Parallel propagation starts view spans from concurrent
+// goroutines, so the counter must be synchronized.
 type cancelOnSpan struct {
 	prefix string
 	after  int // cancel when the (after+1)-th matching span starts
 	cancel context.CancelFunc
+	mu     sync.Mutex
 	seen   int
 }
 
@@ -27,10 +30,13 @@ func (noopSpan) End() {}
 
 func (c *cancelOnSpan) StartSpan(name string) obs.Span {
 	if strings.HasPrefix(name, c.prefix) {
-		if c.seen == c.after {
+		c.mu.Lock()
+		fire := c.seen == c.after
+		c.seen++
+		c.mu.Unlock()
+		if fire {
 			c.cancel()
 		}
-		c.seen++
 	}
 	return noopSpan{}
 }

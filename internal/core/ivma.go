@@ -60,6 +60,7 @@ func (iv *IVMA) ApplyStatement(st *update.Statement) (time.Duration, error) {
 			}
 			e.Store.AddNode(n)
 		}
+		e.bumpVersion()
 		return time.Since(start), nil
 	default:
 		applied, err := update.Apply(e.Doc, nil, pul)
@@ -82,6 +83,7 @@ func (iv *IVMA) ApplyStatement(st *update.Statement) (time.Duration, error) {
 			}
 			e.Store.RemoveNode(n)
 		}
+		e.bumpVersion()
 		return time.Since(start), nil
 	}
 }

@@ -81,6 +81,7 @@ func (l *Lazy) Apply(st *update.Statement) error {
 		l.recordInserts(insPul, insApplied)
 		l.pending++
 		e.m.lazyApplied.Inc()
+		e.bumpVersion()
 		return nil
 	}
 	pul, err := update.ComputePUL(e.Doc, st)
@@ -100,6 +101,7 @@ func (l *Lazy) Apply(st *update.Statement) error {
 	}
 	l.pending++
 	e.m.lazyApplied.Inc()
+	e.bumpVersion()
 	return nil
 }
 

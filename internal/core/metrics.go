@@ -26,6 +26,7 @@ import (
 //	core.predflip.recomputes                  predicate-flip fallback recomputations
 //	core.views.skipped                        views skipped by the independence precheck
 //	core.views.cancelled                      views aborted (and repaired) by ctx cancellation
+//	core.views.panicked                       views whose propagation panicked (and were repaired)
 //	core.lazy.{applied,flushes}               deferred statements / flushes
 //
 // Histogram names: core.phase.<phase> for the five propagation phases and
@@ -43,11 +44,11 @@ type engineMetrics struct {
 	pruneProp38                   *obs.Counter
 	pruneProp47                   *obs.Counter
 
-	rowsAdded, rowsRemoved, rowsModified *obs.Counter
-	latticeDropped                       *obs.Counter
-	predFlips                            *obs.Counter
-	viewsSkipped, viewsCancelled         *obs.Counter
-	lazyApplied, lazyFlushes             *obs.Counter
+	rowsAdded, rowsRemoved, rowsModified        *obs.Counter
+	latticeDropped                              *obs.Counter
+	predFlips                                   *obs.Counter
+	viewsSkipped, viewsCancelled, viewsPanicked *obs.Counter
+	lazyApplied, lazyFlushes                    *obs.Counter
 
 	phase     map[string]*obs.Histogram
 	lazyFlush *obs.Histogram
@@ -75,6 +76,7 @@ func newEngineMetrics(reg *obs.Metrics) *engineMetrics {
 		predFlips:      reg.Counter("core.predflip.recomputes"),
 		viewsSkipped:   reg.Counter("core.views.skipped"),
 		viewsCancelled: reg.Counter("core.views.cancelled"),
+		viewsPanicked:  reg.Counter("core.views.panicked"),
 		lazyApplied:    reg.Counter("core.lazy.applied"),
 		lazyFlushes:    reg.Counter("core.lazy.flushes"),
 		lazyFlush:      reg.Histogram("core.lazy.flush"),

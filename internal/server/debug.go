@@ -1,0 +1,28 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeDebug starts an auxiliary HTTP listener on addr serving
+// http.DefaultServeMux (pprof and expvar, when their packages are linked
+// in) and returns a shutdown function that stops accepting connections and
+// drains in-flight requests for up to five seconds. It replaces the
+// fire-and-forget ListenAndServe goroutine pattern, whose requests were
+// cut off mid-response whenever the process exited.
+func ServeDebug(addr string) (shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: http.DefaultServeMux}
+	go func() { _ = hs.Serve(ln) }()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}, nil
+}

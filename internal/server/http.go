@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"xivm/internal/obs"
+	"xivm/internal/update"
+	"xivm/internal/xpath"
+)
+
+// Wire types for the JSON API. They are exported so clients (the xivmload
+// generator, tests) can decode responses without re-declaring the shapes.
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Version uint64 `json:"version"`
+	Queue   int    `json:"queue"`
+}
+
+// ViewInfo is one view's summary in ViewsResponse.
+type ViewInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+// ViewsResponse answers GET /v1/views.
+type ViewsResponse struct {
+	Version uint64     `json:"version"`
+	Views   []ViewInfo `json:"views"`
+}
+
+// EntryJSON is one stored pattern-node binding of a view row.
+type EntryJSON struct {
+	Label string `json:"label"`
+	ID    string `json:"id"`
+	Val   string `json:"val,omitempty"`
+	Cont  string `json:"cont,omitempty"`
+}
+
+// RowJSON is one materialized view row.
+type RowJSON struct {
+	Count   int         `json:"count"`
+	Entries []EntryJSON `json:"entries"`
+}
+
+// ViewResponse answers GET /v1/views/{name}.
+type ViewResponse struct {
+	Version uint64    `json:"version"`
+	Name    string    `json:"name"`
+	Rows    []RowJSON `json:"rows"`
+}
+
+// MatchJSON is one node matched by an XPath query.
+type MatchJSON struct {
+	ID    string `json:"id"`
+	Label string `json:"label"`
+	Value string `json:"value"`
+}
+
+// XPathResponse answers GET /v1/xpath.
+type XPathResponse struct {
+	Version uint64      `json:"version"`
+	Query   string      `json:"query"`
+	Matches []MatchJSON `json:"matches"`
+}
+
+// UpdateViewJSON is one view's maintenance summary in UpdateResponse.
+type UpdateViewJSON struct {
+	Name         string `json:"name"`
+	RowsAdded    int    `json:"rows_added"`
+	RowsRemoved  int    `json:"rows_removed"`
+	RowsModified int    `json:"rows_modified"`
+	Skipped      bool   `json:"skipped,omitempty"`
+	Recomputed   bool   `json:"recomputed,omitempty"`
+}
+
+// UpdateRequest is the body of POST /v1/update.
+type UpdateRequest struct {
+	Statement string `json:"statement"`
+}
+
+// UpdateResponse answers POST /v1/update. Version is the epoch at which the
+// update's effects are readable: a GET observing version >= this sees them.
+type UpdateResponse struct {
+	Version uint64           `json:"version"`
+	Targets int              `json:"targets"`
+	Views   []UpdateViewJSON `json:"views"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz            liveness + current epoch version + queue depth
+//	GET  /v1/views           all views' names and row counts
+//	GET  /v1/views/{name}    one view's materialized rows
+//	GET  /v1/xpath?q=PATH    evaluate an XPath query against the epoch doc
+//	POST /v1/update          apply one update statement {"statement": "..."}
+//	GET  /v1/metrics         JSON dump of the metrics registry
+//
+// All reads are served from the last published epoch — they never block on
+// the writer, and a response's version field identifies the exact state it
+// reflects. Updates block until applied and published (or rejected: 429
+// when the queue is full, 503 while shutting down, 504 past the deadline).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/views", s.handleViews)
+	mux.HandleFunc("GET /v1/views/{name}", s.handleView)
+	mux.HandleFunc("GET /v1/xpath", s.handleXPath)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s.countRequests(mux)
+}
+
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.m.httpRequests.Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	s.mu.RLock()
+	if s.closed {
+		status = "draining"
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  status,
+		Version: s.Epoch().Version,
+		Queue:   s.QueueLen(),
+	})
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	defer s.observeSince(s.m.queryLatency, time.Now())
+	snap := s.Epoch()
+	resp := ViewsResponse{Version: snap.Version, Views: make([]ViewInfo, 0, len(snap.Views))}
+	for i := range snap.Views {
+		resp.Views = append(resp.Views, ViewInfo{Name: snap.Views[i].Name, Rows: len(snap.Views[i].Rows)})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	defer s.observeSince(s.m.queryLatency, time.Now())
+	snap := s.Epoch()
+	vs := snap.View(r.PathValue("name"))
+	if vs == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such view: " + r.PathValue("name")})
+		return
+	}
+	resp := ViewResponse{Version: snap.Version, Name: vs.Name, Rows: make([]RowJSON, 0, len(vs.Rows))}
+	for _, row := range vs.Rows {
+		rj := RowJSON{Count: row.Count, Entries: make([]EntryJSON, 0, len(row.Entries))}
+		for _, e := range row.Entries {
+			rj.Entries = append(rj.Entries, EntryJSON{
+				Label: vs.Pattern.Nodes[e.NodeIdx].Label,
+				ID:    e.ID.String(),
+				Val:   e.Val,
+				Cont:  e.Cont,
+			})
+		}
+		resp.Rows = append(resp.Rows, rj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleXPath(w http.ResponseWriter, r *http.Request) {
+	defer s.observeSince(s.m.xpathLatency, time.Now())
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing q parameter"})
+		return
+	}
+	path, err := xpath.Parse(q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	snap := s.Epoch()
+	nodes := xpath.Eval(snap.Doc(), path)
+	resp := XPathResponse{Version: snap.Version, Query: q, Matches: make([]MatchJSON, 0, len(nodes))}
+	for _, n := range nodes {
+		resp.Matches = append(resp.Matches, MatchJSON{ID: n.ID.String(), Label: n.Label, Value: n.StringValue()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	st, err := update.Parse(req.Statement)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if d := s.cfg.requestTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	rep, version, err := s.Apply(ctx, st)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := UpdateResponse{Version: version, Targets: rep.Targets, Views: make([]UpdateViewJSON, 0, len(rep.Views))}
+	for i := range rep.Views {
+		vr := &rep.Views[i]
+		resp.Views = append(resp.Views, UpdateViewJSON{
+			Name:         vr.View.Name,
+			RowsAdded:    vr.RowsAdded,
+			RowsRemoved:  vr.RowsRemoved,
+			RowsModified: vr.RowsModified,
+			Skipped:      vr.Skipped,
+			Recomputed:   vr.PredFallback || vr.Cancelled || vr.Panicked,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.m.reg.WriteJSON(w)
+}
+
+func (s *Server) observeSince(h *obs.Histogram, t0 time.Time) {
+	h.Observe(time.Since(t0))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, ErrShuttingDown):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499-style. StatusGatewayTimeout is the closest
+		// standard code that is unmistakably "not applied as far as you know".
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,68 @@
+package server
+
+import "xivm/internal/obs"
+
+// serverMetrics bundles the serving layer's instruments. Counters:
+//
+//	server.http.requests      HTTP requests handled (any route)
+//	server.apply.enqueued     updates accepted into the queue
+//	server.apply.count        statements applied successfully
+//	server.apply.errors       statements that failed in the engine
+//	server.apply.abandoned    queued statements whose client gave up first
+//	server.apply.panics       panics recovered in the writer loop
+//	server.reject.queue_full  updates rejected with ErrQueueFull (429)
+//	server.reject.shutdown    updates rejected with ErrShuttingDown (503)
+//	server.sync.errors        backend Sync failures during drain
+//	snapshot.epochs           epochs published
+//	snapshot.rows             cumulative view rows copied into epochs
+//	snapshot.doc.nodes        cumulative document nodes copied into epochs
+//
+// Histograms: server.apply.latency (engine apply time per statement),
+// snapshot.publish (capture+swap time per epoch), server.query.latency and
+// server.xpath.latency (read-path handler time).
+type serverMetrics struct {
+	reg *obs.Metrics
+
+	httpRequests     *obs.Counter
+	enqueued         *obs.Counter
+	applied          *obs.Counter
+	applyErrors      *obs.Counter
+	abandoned        *obs.Counter
+	applyPanics      *obs.Counter
+	rejectedFull     *obs.Counter
+	rejectedShutdown *obs.Counter
+	syncErrors       *obs.Counter
+	epochs           *obs.Counter
+	epochRows        *obs.Counter
+	epochDocNodes    *obs.Counter
+
+	applyLatency   *obs.Histogram
+	publishLatency *obs.Histogram
+	queryLatency   *obs.Histogram
+	xpathLatency   *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Metrics) *serverMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &serverMetrics{
+		reg:              reg,
+		httpRequests:     reg.Counter("server.http.requests"),
+		enqueued:         reg.Counter("server.apply.enqueued"),
+		applied:          reg.Counter("server.apply.count"),
+		applyErrors:      reg.Counter("server.apply.errors"),
+		abandoned:        reg.Counter("server.apply.abandoned"),
+		applyPanics:      reg.Counter("server.apply.panics"),
+		rejectedFull:     reg.Counter("server.reject.queue_full"),
+		rejectedShutdown: reg.Counter("server.reject.shutdown"),
+		syncErrors:       reg.Counter("server.sync.errors"),
+		epochs:           reg.Counter("snapshot.epochs"),
+		epochRows:        reg.Counter("snapshot.rows"),
+		epochDocNodes:    reg.Counter("snapshot.doc.nodes"),
+		applyLatency:     reg.Histogram("server.apply.latency"),
+		publishLatency:   reg.Histogram("snapshot.publish"),
+		queryLatency:     reg.Histogram("server.query.latency"),
+		xpathLatency:     reg.Histogram("server.xpath.latency"),
+	}
+}

@@ -1,0 +1,287 @@
+// Package server is the concurrent serving layer: it turns a maintenance
+// engine (bare, or wrapped in the internal/wal durability layer) into a
+// system that answers queries while updates stream in.
+//
+// The concurrency model is single-writer / snapshot-isolated readers:
+//
+//   - All updates funnel through one bounded queue drained by a single
+//     apply goroutine, which preserves the engine's single-threaded
+//     mutation contract and rides the WAL's group commit when the backend
+//     is a wal.DB. A full queue rejects immediately with ErrQueueFull
+//     (surfaced as HTTP 429), which is the backpressure signal.
+//
+//   - After every applied statement the writer publishes a fresh epoch: an
+//     immutable core.Snapshot (deep-copied view rows plus an ID-preserving
+//     document copy) swapped in with one atomic pointer store. Any number of
+//     concurrent readers serve view and XPath queries from the last
+//     published epoch without taking any lock the writer can contend on.
+//     Readers therefore observe only states that existed between whole
+//     statements — never a half-propagated view.
+//
+//   - Shutdown closes the queue, lets the writer drain every accepted
+//     request, then syncs the backend (forcing the WAL group-commit buffer
+//     to disk) before reporting done.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xivm/internal/core"
+	"xivm/internal/obs"
+	"xivm/internal/update"
+)
+
+// ErrQueueFull is returned when the apply queue is at capacity; callers
+// should back off and retry (HTTP maps it to 429 Too Many Requests).
+var ErrQueueFull = errors.New("server: apply queue full")
+
+// ErrShuttingDown is returned for updates submitted after Shutdown began
+// (HTTP maps it to 503 Service Unavailable).
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Backend is what the serving layer needs from the engine side: the wal.DB
+// durability wrapper satisfies it directly, and EngineBackend adapts a bare
+// engine. All three methods are only ever called from the single writer
+// goroutine (Engine also at construction time).
+type Backend interface {
+	// Engine exposes the underlying maintenance engine.
+	Engine() *core.Engine
+	// ApplyCtx journals (when durable) and applies one statement.
+	ApplyCtx(ctx context.Context, st *update.Statement) (*core.Report, error)
+	// Sync forces buffered durability state (the WAL group-commit window)
+	// to disk; a no-op for non-durable backends.
+	Sync() error
+}
+
+// EngineBackend adapts a bare, non-durable engine to the Backend interface.
+type EngineBackend struct{ Eng *core.Engine }
+
+// Engine returns the wrapped engine.
+func (b EngineBackend) Engine() *core.Engine { return b.Eng }
+
+// ApplyCtx applies one statement through the engine.
+func (b EngineBackend) ApplyCtx(ctx context.Context, st *update.Statement) (*core.Report, error) {
+	return b.Eng.ApplyStatementCtx(ctx, st)
+}
+
+// Sync is a no-op: a bare engine has no durability buffer.
+func (EngineBackend) Sync() error { return nil }
+
+// Config tunes a Server. The zero value selects the defaults noted on each
+// field.
+type Config struct {
+	// QueueDepth bounds the apply queue; submissions beyond it fail fast
+	// with ErrQueueFull. Default 64.
+	QueueDepth int
+	// RequestTimeout is the per-request deadline applied to HTTP update
+	// and query handlers (0 = 10s; negative = no deadline). A statement
+	// whose deadline expires while still queued is abandoned by its
+	// client; the writer then observes the cancelled context and skips it
+	// before mutating anything.
+	RequestTimeout time.Duration
+	// Metrics selects the registry for the server.* and snapshot.*
+	// instruments (nil = obs.Default()).
+	Metrics *obs.Metrics
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout == 0 {
+		return 10 * time.Second
+	}
+	if c.RequestTimeout < 0 {
+		return 0
+	}
+	return c.RequestTimeout
+}
+
+// Server serves snapshot-isolated reads over a single-writer apply loop.
+// Create with New, serve HTTP via Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	backend Backend
+	eng     *core.Engine
+	m       *serverMetrics
+
+	// epoch is the last published snapshot; readers load it with one
+	// atomic pointer read and never touch the live engine.
+	epoch atomic.Pointer[core.Snapshot]
+
+	queue chan *applyReq
+	done  chan struct{} // closed when the writer loop has fully drained
+
+	// mu guards closed against racing queue sends: Shutdown closes the
+	// queue under the write lock, submissions send under the read lock.
+	mu     sync.RWMutex
+	closed bool
+}
+
+type applyReq struct {
+	ctx  context.Context
+	st   *update.Statement
+	resp chan applyResult // buffered(1): the writer never blocks on it
+}
+
+type applyResult struct {
+	rep     *core.Report
+	version uint64 // epoch version at which the update's effects are readable
+	err     error
+}
+
+// New builds a server over the backend, publishes the initial epoch, and
+// starts the writer loop. The backend's engine must not be mutated by
+// anyone else from this point on.
+func New(b Backend, cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg,
+		backend: b,
+		eng:     b.Engine(),
+		m:       newServerMetrics(cfg.Metrics),
+		queue:   make(chan *applyReq, cfg.queueDepth()),
+		done:    make(chan struct{}),
+	}
+	s.publish()
+	go s.applyLoop()
+	return s
+}
+
+// Epoch returns the last published snapshot. It never returns nil and the
+// result is immutable — hold it as long as needed.
+func (s *Server) Epoch() *core.Snapshot { return s.epoch.Load() }
+
+// QueueLen reports how many accepted updates are waiting for the writer.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Apply submits one statement to the writer loop and waits for it to be
+// applied and its epoch published, honoring ctx. It returns the engine
+// report and the epoch version at which the update's effects are visible
+// to readers. ErrQueueFull and ErrShuttingDown reject without queuing; a
+// ctx expiring while the request is queued abandons it (the writer skips
+// abandoned requests before mutating anything).
+func (s *Server) Apply(ctx context.Context, st *update.Statement) (*core.Report, uint64, error) {
+	req := &applyReq{ctx: ctx, st: st, resp: make(chan applyResult, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.m.rejectedShutdown.Inc()
+		return nil, 0, ErrShuttingDown
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+		s.m.enqueued.Inc()
+	default:
+		s.mu.RUnlock()
+		s.m.rejectedFull.Inc()
+		return nil, 0, ErrQueueFull
+	}
+	select {
+	case res := <-req.resp:
+		return res.rep, res.version, res.err
+	case <-ctx.Done():
+		// The writer will observe the cancelled context; if it had already
+		// started applying, the engine's cancellation contract keeps every
+		// view consistent and the writer still publishes any new state.
+		return nil, 0, ctx.Err()
+	}
+}
+
+// Shutdown stops accepting updates, waits for the writer to drain every
+// accepted request and sync the backend, and returns nil on a clean drain
+// or ctx.Err() if the deadline expires first (the writer keeps draining in
+// the background either way). Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// applyLoop is the single writer: it drains the queue in FIFO order, and
+// after the queue closes it syncs the backend so acknowledged updates are
+// durable before done is signalled.
+func (s *Server) applyLoop() {
+	defer close(s.done)
+	for req := range s.queue {
+		res := s.applyOne(req)
+		req.resp <- res
+	}
+	if err := s.backend.Sync(); err != nil {
+		s.m.syncErrors.Inc()
+	}
+}
+
+// applyOne applies one request and publishes the resulting epoch. Any new
+// engine version — even one reached on a partially cancelled statement —
+// is published before the client is answered, so an acknowledged update is
+// always readable (read-your-writes) and an unacknowledged one is at worst
+// readable early, never lost.
+func (s *Server) applyOne(req *applyReq) applyResult {
+	if err := req.ctx.Err(); err != nil {
+		s.m.abandoned.Inc()
+		return applyResult{err: err}
+	}
+	t0 := time.Now()
+	rep, err := s.safeApply(req.ctx, req.st)
+	s.m.applyLatency.Observe(time.Since(t0))
+	if s.eng.Version() != s.Epoch().Version {
+		s.publish()
+	}
+	if err != nil {
+		s.m.applyErrors.Inc()
+		return applyResult{rep: rep, version: s.Epoch().Version, err: err}
+	}
+	s.m.applied.Inc()
+	return applyResult{rep: rep, version: s.Epoch().Version}
+}
+
+// safeApply contains a panic escaping the engine's own per-view recovery
+// (core.propagateAll repairs panicking views, but a panic elsewhere in the
+// apply path would otherwise kill the writer goroutine and wedge every
+// client). The engine is repaired by recomputing all views; the statement
+// is reported failed.
+func (s *Server) safeApply(ctx context.Context, st *update.Statement) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.applyPanics.Inc()
+			s.eng.RepairAllViews()
+			rep, err = nil, fmt.Errorf("server: apply panicked: %v", r)
+		}
+	}()
+	return s.backend.ApplyCtx(ctx, st)
+}
+
+// publish captures the engine state and swaps it in as the new epoch.
+// Writer-goroutine only (and once from New, before the loop starts).
+func (s *Server) publish() {
+	t0 := time.Now()
+	snap := s.eng.Snapshot()
+	s.epoch.Store(snap)
+	s.m.publishLatency.Observe(time.Since(t0))
+	s.m.epochs.Inc()
+	var rows int64
+	for i := range snap.Views {
+		rows += int64(len(snap.Views[i].Rows))
+	}
+	s.m.epochRows.Add(rows)
+	s.m.epochDocNodes.Add(int64(snap.Doc().Size()))
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"xivm/internal/algebra"
+	"xivm/internal/core"
+	"xivm/internal/obs"
+	"xivm/internal/pattern"
+	"xivm/internal/wal"
+	"xivm/internal/xmark"
+	"xivm/internal/xmltree"
+	"xivm/internal/xpath"
+)
+
+// stressViews and stressQueries are the read mix; stressVocabulary is the
+// write mix, cycled to reach the statement target. The vocabulary's inserts
+// and deletes roughly balance so the document stays small.
+var (
+	stressViews   = []string{"Q1", "Q2"}
+	stressQueries = []string{
+		"/site/people/person/name",
+		"/site/open_auctions/open_auction/bidder/increase",
+	}
+	stressVocabulary = []string{
+		`insert <person id="pstress"><name>Stress Person</name><phone>+1 555 0100</phone></person> into /site/people`,
+		`for $x in /site/open_auctions/open_auction insert <bidder><date>02/02/2020</date><increase>2.50</increase></bidder>`,
+		`delete /site/people/person/phone`,
+		`insert <open_auction id="ostress"><bidder><increase>4.50</increase></bidder></open_auction> into /site/open_auctions`,
+		`delete /site/open_auctions/open_auction/bidder`,
+		`replace /site/people/person/name with <name>Renamed Person</name>`,
+		`delete /site/people/person`,
+	}
+)
+
+// expectedState is the oracle for one published epoch: for every view, the
+// rows a fresh pattern evaluation produces at that document version, and
+// for every fixed XPath query, its matches — all precomputed by the shadow
+// replayer, wire-encoded for direct comparison with server responses.
+type expectedState struct {
+	views   map[string][]RowJSON
+	matches map[string][]MatchJSON
+}
+
+// shadowOracle replays the exact statement sequence on an independent
+// engine and records, keyed by engine version, the state every published
+// epoch must show. Versions advance identically in both engines because
+// both apply the same statements to the same initial document and version
+// bumps are a deterministic function of the statement sequence.
+type shadowOracle struct {
+	eng *core.Engine
+
+	mu       sync.RWMutex
+	expected map[uint64]*expectedState
+}
+
+func newShadowOracle(t *testing.T, docXML string) *shadowOracle {
+	t.Helper()
+	doc, err := xmltree.ParseString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &shadowOracle{
+		eng:      core.New(doc, core.WithMetrics(obs.New())),
+		expected: make(map[uint64]*expectedState),
+	}
+	for _, name := range stressViews {
+		if _, err := o.eng.AddView(name, xmark.View(name)); err != nil {
+			t.Fatalf("shadow add view %s: %v", name, err)
+		}
+	}
+	o.record()
+	return o
+}
+
+// record captures the oracle state at the shadow engine's current version,
+// recomputing every view from scratch (the acceptance criterion: published
+// rows must equal fresh recomputation at that document version).
+func (o *shadowOracle) record() {
+	st := &expectedState{
+		views:   make(map[string][]RowJSON, len(stressViews)),
+		matches: make(map[string][]MatchJSON, len(stressQueries)),
+	}
+	for _, mv := range o.eng.Views {
+		rows := algebra.Materialize(o.eng.Doc, mv.Pattern)
+		st.views[mv.Name] = rowsToJSON(mv.Pattern, rows)
+	}
+	for _, q := range stressQueries {
+		nodes := xpath.Eval(o.eng.Doc, xpath.MustParse(q))
+		ms := make([]MatchJSON, 0, len(nodes))
+		for _, n := range nodes {
+			ms = append(ms, MatchJSON{ID: n.ID.String(), Label: n.Label, Value: n.StringValue()})
+		}
+		st.matches[q] = ms
+	}
+	o.mu.Lock()
+	o.expected[o.eng.Version()] = st
+	o.mu.Unlock()
+}
+
+// step applies one statement to the shadow engine and records the oracle
+// state for the version it lands on, returning that version. It must be
+// called BEFORE the same statement is sent to the server, so that by the
+// time any reader can observe the new epoch its expectation exists.
+func (o *shadowOracle) step(t *testing.T, src string) uint64 {
+	t.Helper()
+	if _, err := o.eng.ApplyStatement(mustStatement(t, src)); err != nil {
+		t.Fatalf("shadow apply %q: %v", src, err)
+	}
+	o.record()
+	return o.eng.Version()
+}
+
+func (o *shadowOracle) at(version uint64) *expectedState {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.expected[version]
+}
+
+// rowsToJSON wire-encodes materialized rows exactly as the HTTP layer does.
+func rowsToJSON(p *pattern.Pattern, rows []algebra.Row) []RowJSON {
+	out := make([]RowJSON, 0, len(rows))
+	for _, row := range rows {
+		rj := RowJSON{Count: row.Count, Entries: make([]EntryJSON, 0, len(row.Entries))}
+		for _, e := range row.Entries {
+			rj.Entries = append(rj.Entries, EntryJSON{
+				Label: p.Nodes[e.NodeIdx].Label,
+				ID:    e.ID.String(),
+				Val:   e.Val,
+				Cont:  e.Cont,
+			})
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
+func equalRowJSON(a, b []RowJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Count != b[i].Count || len(a[i].Entries) != len(b[i].Entries) {
+			return false
+		}
+		for j := range a[i].Entries {
+			if a[i].Entries[j] != b[i].Entries[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func equalMatchJSON(a, b []MatchJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStressReadersVsWriter is the serving layer's isolation acceptance
+// test: 8 concurrent readers hammer view and XPath endpoints over a real
+// HTTP listener while one writer streams 210 update statements through the
+// WAL-backed apply loop. Every response must carry a published epoch
+// version, versions must be monotone per reader, and the payload must
+// equal a fresh recomputation of the view (or query) at exactly that
+// version's document state — i.e. readers never observe a torn,
+// half-propagated, or unpublished state. Run it under -race.
+func TestStressReadersVsWriter(t *testing.T) {
+	const (
+		readers    = 8
+		statements = 210
+	)
+	docXML := xmark.GenerateSmall(1)
+	db, err := wal.Create(t.TempDir(), []byte(docXML), wal.Options{Metrics: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, name := range stressViews {
+		if _, err := db.AddView(name, xmark.View(name).String()); err != nil {
+			t.Fatalf("add view %s: %v", name, err)
+		}
+	}
+
+	oracle := newShadowOracle(t, docXML)
+	if sv, ev := oracle.eng.Version(), db.Engine().Version(); sv != ev {
+		t.Fatalf("shadow version %d != server engine version %d at start", sv, ev)
+	}
+
+	s := New(db, Config{QueueDepth: 32, Metrics: obs.New()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	errc := make(chan string, readers)
+	fail := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	var readTotal [readers]int
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastVersion uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var version uint64
+				switch i % 4 {
+				case 0, 1: // view reads
+					name := stressViews[(i/2)%len(stressViews)]
+					var vr ViewResponse
+					resp, err := client.Get(ts.URL + "/v1/views/" + name)
+					if err != nil {
+						fail("reader %d: GET view: %v", r, err)
+						return
+					}
+					code := resp.StatusCode
+					err = json.NewDecoder(resp.Body).Decode(&vr)
+					resp.Body.Close()
+					if err != nil || code != http.StatusOK {
+						fail("reader %d: view %s: status %d err %v", r, name, code, err)
+						return
+					}
+					exp := oracle.at(vr.Version)
+					if exp == nil {
+						fail("reader %d: view %s response at unpublished version %d", r, name, vr.Version)
+						return
+					}
+					if !equalRowJSON(vr.Rows, exp.views[name]) {
+						fail("reader %d: view %s at version %d does not equal fresh recomputation (%d rows, want %d)",
+							r, name, vr.Version, len(vr.Rows), len(exp.views[name]))
+						return
+					}
+					version = vr.Version
+				case 2, 3: // XPath reads
+					q := stressQueries[i%len(stressQueries)]
+					var xr XPathResponse
+					resp, err := client.Get(ts.URL + "/v1/xpath?q=" + url.QueryEscape(q))
+					if err != nil {
+						fail("reader %d: GET xpath: %v", r, err)
+						return
+					}
+					code := resp.StatusCode
+					err = json.NewDecoder(resp.Body).Decode(&xr)
+					resp.Body.Close()
+					if err != nil || code != http.StatusOK {
+						fail("reader %d: xpath %s: status %d err %v", r, q, code, err)
+						return
+					}
+					exp := oracle.at(xr.Version)
+					if exp == nil {
+						fail("reader %d: xpath response at unpublished version %d", r, xr.Version)
+						return
+					}
+					if !equalMatchJSON(xr.Matches, exp.matches[q]) {
+						fail("reader %d: xpath %s at version %d does not equal fresh evaluation (%d matches, want %d)",
+							r, q, xr.Version, len(xr.Matches), len(exp.matches[q]))
+						return
+					}
+					version = xr.Version
+				}
+				if version < lastVersion {
+					fail("reader %d: version went backwards: %d after %d", r, version, lastVersion)
+					return
+				}
+				lastVersion = version
+				readTotal[r]++
+			}
+		}(r)
+	}
+
+	// The writer: shadow-replay first (so the expectation exists before the
+	// epoch can be published), then send the same statement through the
+	// server, retrying 429 backpressure rejections.
+	for i := 0; i < statements; i++ {
+		src := stressVocabulary[i%len(stressVocabulary)]
+		wantVersion := oracle.step(t, src)
+		for {
+			resp, ur := postUpdate(t, ts.URL, src)
+			if resp.StatusCode == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("statement %d %q: status %d", i, src, resp.StatusCode)
+			}
+			if ur.Version != wantVersion {
+				t.Fatalf("statement %d %q: server version %d, shadow version %d — engines diverged",
+					i, src, ur.Version, wantVersion)
+			}
+			break
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	for r, n := range readTotal {
+		if n < 10 {
+			t.Fatalf("reader %d performed only %d reads — not a concurrent workload", r, n)
+		}
+	}
+
+	// Final state check: the last epoch equals the shadow's final state.
+	snap := s.Epoch()
+	if snap.Version != oracle.eng.Version() {
+		t.Fatalf("final epoch version %d != shadow version %d", snap.Version, oracle.eng.Version())
+	}
+	exp := oracle.at(snap.Version)
+	for _, vs := range snap.Views {
+		if !equalRowJSON(rowsToJSON(vs.Pattern, vs.Rows), exp.views[vs.Name]) {
+			t.Fatalf("final epoch view %s diverges from fresh recomputation", vs.Name)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

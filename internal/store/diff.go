@@ -19,12 +19,12 @@ func DiffStores(got, want *Store) string {
 		return d
 	}
 	for _, label := range wl {
-		g, w := got.rels[label], want.rels[label]
+		g, w := got.Items(label), want.Items(label)
 		if d := diffItems("R_"+label, g, w); d != "" {
 			return d
 		}
 	}
-	return diffItems("elements", got.elems, want.elems)
+	return diffItems("elements", got.Items("*"), want.Items("*"))
 }
 
 func diffLabelSets(got, want []string) string {

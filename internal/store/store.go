@@ -21,8 +21,23 @@ import (
 // all element nodes for wildcard pattern nodes, plus a lazily built
 // inverted word index serving "~word" relations without rescanning the
 // text relation on every access.
+//
+// Concurrency: a Store supports any number of concurrent readers (Items,
+// Count, Inputs, Labels) alongside a single mutating writer (AddSubtrees,
+// RemoveSubtrees, AddNode, RemoveNode). Mutations never modify a
+// previously handed-out slice — merges and filters build fresh backing
+// arrays — so a reader that retained a slice across a mutation keeps
+// seeing exactly the items it was given (the snapshot read path and
+// mid-propagation delta inputs depend on this). mu makes the map and
+// slice-header swaps themselves safe, and keeps word-index invalidation
+// atomic with the relation update it reacts to.
 type Store struct {
-	doc   *xmltree.Document
+	doc *xmltree.Document
+
+	// mu guards rels, elems and wordIdx. Readers take RLock for the brief
+	// map/header lookup only; the slices behind the headers are immutable
+	// once published, so no lock is held while consumers iterate them.
+	mu    sync.RWMutex
 	rels  map[string][]algebra.Item
 	elems []algebra.Item
 
@@ -30,9 +45,11 @@ type Store struct {
 	// it. Entries are built on first access and the whole index is dropped
 	// whenever a text node enters or leaves the canonical relations (word
 	// membership only ever changes through node insertion/removal — value
-	// replacement expands to delete+insert). Guarded by wordMu because
-	// parallel view propagation reads canonical relations concurrently.
-	wordMu  sync.RWMutex
+	// replacement expands to delete+insert). Dropped under the SAME mu
+	// critical section that updates the text relation: invalidating after
+	// releasing the lock would leave a window in which a concurrent
+	// "~word" reader could be served (or could cache) an index entry that
+	// predates the mutation.
 	wordIdx map[string][]algebra.Item
 
 	// Observability (nil counters are no-op sinks; see SetMetrics).
@@ -83,13 +100,16 @@ func (s *Store) Doc() *xmltree.Document { return s.doc }
 // nodes containing that word, anything else the elements with that label.
 // Word relations are served from the inverted word index; after the first
 // access for a word (and until the next mutation of a text node) no scan of
-// the text relation occurs. The returned slice is shared; callers must not
-// mutate it.
+// the text relation occurs. The returned slice is immutable: callers must
+// not modify it, and the store never will — a mutation publishes a fresh
+// slice instead, so retaining the result across mutations is safe.
 func (s *Store) Items(label string) []algebra.Item {
 	if word, isWord := strings.CutPrefix(label, "~"); isWord {
 		return s.wordItems(word)
 	}
 	s.scanCount.Inc()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if label == "*" {
 		s.scanItems.Add(int64(len(s.elems)))
 		return s.elems
@@ -105,6 +125,8 @@ func (s *Store) Count(label string) int {
 	if word, isWord := strings.CutPrefix(label, "~"); isWord {
 		return len(s.wordItems(word))
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if label == "*" {
 		return len(s.elems)
 	}
@@ -112,17 +134,19 @@ func (s *Store) Count(label string) int {
 }
 
 // wordItems serves R_{~word} from the inverted index, building the entry by
-// one scan of the text relation on a cold access.
+// one scan of the text relation on a cold access. The cold build holds the
+// write lock so it reads a settled text relation and can never publish an
+// entry that a concurrent mutation has already invalidated.
 func (s *Store) wordItems(word string) []algebra.Item {
-	s.wordMu.RLock()
+	s.mu.RLock()
 	out, ok := s.wordIdx[word]
-	s.wordMu.RUnlock()
+	s.mu.RUnlock()
 	if ok {
 		s.wordHits.Inc()
 		return out
 	}
-	s.wordMu.Lock()
-	defer s.wordMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if out, ok := s.wordIdx[word]; ok {
 		s.wordHits.Inc()
 		return out
@@ -140,14 +164,6 @@ func (s *Store) wordItems(word string) []algebra.Item {
 	s.wordIdx[word] = out
 	s.wordBuilds.Inc()
 	return out
-}
-
-// invalidateWords drops the whole inverted word index; called whenever a
-// text node enters or leaves the canonical relations.
-func (s *Store) invalidateWords() {
-	s.wordMu.Lock()
-	s.wordIdx = nil
-	s.wordMu.Unlock()
 }
 
 // Inputs assembles σ-filtered per-node inputs for a pattern from the
@@ -187,6 +203,8 @@ func (s *Store) AddSubtrees(roots []*xmltree.Node) {
 			return true
 		})
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for label, items := range byLabel {
 		sortItems(items)
 		s.rels[label] = mergeSorted(s.rels[label], items)
@@ -196,7 +214,7 @@ func (s *Store) AddSubtrees(roots []*xmltree.Node) {
 		s.elems = mergeSorted(s.elems, elems)
 	}
 	if len(byLabel[xmltree.TextLabel]) > 0 {
-		s.invalidateWords()
+		s.wordIdx = nil
 	}
 }
 
@@ -238,12 +256,14 @@ func mergeSorted(a, b []algebra.Item) []algebra.Item {
 // the live node, so σ predicates evaluate against real values.
 func (s *Store) AddNode(n *xmltree.Node) {
 	it := []algebra.Item{{ID: n.ID, Node: n}}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.rels[n.Label] = mergeSorted(s.rels[n.Label], it)
 	if n.Kind == xmltree.Element {
 		s.elems = mergeSorted(s.elems, it)
 	}
 	if n.Label == xmltree.TextLabel {
-		s.invalidateWords()
+		s.wordIdx = nil
 	}
 }
 
@@ -251,12 +271,14 @@ func (s *Store) AddNode(n *xmltree.Node) {
 // its subtree's entries to their own removals.
 func (s *Store) RemoveNode(n *xmltree.Node) {
 	gone := map[string]bool{n.ID.Key(): true}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.rels[n.Label] = filterOut(s.rels[n.Label], gone)
 	if n.Kind == xmltree.Element {
 		s.elems = filterOut(s.elems, gone)
 	}
 	if n.Label == xmltree.TextLabel {
-		s.invalidateWords()
+		s.wordIdx = nil
 	}
 }
 
@@ -289,6 +311,8 @@ func (s *Store) RemoveSubtrees(roots []*xmltree.Node) {
 			return true
 		})
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for label, set := range gone {
 		s.rels[label] = filterOut(s.rels[label], set)
 	}
@@ -302,7 +326,7 @@ func (s *Store) RemoveSubtrees(roots []*xmltree.Node) {
 		s.elems = filterOut(s.elems, all)
 	}
 	if len(gone[xmltree.TextLabel]) > 0 {
-		s.invalidateWords()
+		s.wordIdx = nil
 	}
 }
 
@@ -335,12 +359,14 @@ func filterOut(items []algebra.Item, gone map[string]bool) []algebra.Item {
 
 // Labels returns all labels with a non-empty canonical relation.
 func (s *Store) Labels() []string {
+	s.mu.RLock()
 	out := make([]string, 0, len(s.rels))
 	for l, items := range s.rels {
 		if len(items) > 0 {
 			out = append(out, l)
 		}
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }

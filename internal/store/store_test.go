@@ -358,3 +358,68 @@ func TestSnapshotErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentItemsDuringMutation hammers the live read entry points
+// (Items, Count, Labels) from several goroutines while the main goroutine
+// inserts and deletes subtrees — the snapshot-serving scenario where epoch
+// readers and the single writer share one store. Before the store-wide
+// RWMutex this was a data race on the relation map and slice headers; run
+// under -race it also re-checks that a slice retained mid-read keeps its
+// original contents across the mutation that follows it.
+func TestConcurrentItemsDuringMutation(t *testing.T) {
+	d := mustDoc(t, `<a><c><b>1</b><b>2</b></c><c><b>3</b></c></a>`)
+	s := New(d)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Retain a slice, snapshot its IDs, re-read the store (racing
+				// with the writer), then verify the retained slice is intact.
+				held := s.Items("b")
+				ids := make([]string, len(held))
+				for i, it := range held {
+					ids[i] = it.ID.Key()
+				}
+				_ = s.Count("#text")
+				_ = s.Items("*")
+				_ = s.Labels()
+				for i, it := range held {
+					if it.ID.Key() != ids[i] {
+						panic("retained Items slice mutated mid-read")
+					}
+				}
+			}
+		}()
+	}
+
+	forestSrc := `<c><b>9</b><b>8</b></c>`
+	for i := 0; i < 200; i++ {
+		forest, err := xmltree.ParseForest(forestSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attached, err := d.ApplyInsert(d.Root, forest[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddSubtree(attached)
+		if _, err := d.ApplyDelete(attached); err != nil {
+			t.Fatal(err)
+		}
+		s.RemoveSubtree(attached)
+	}
+	close(stop)
+	wg.Wait()
+	if got := s.Count("b"); got != 3 {
+		t.Fatalf("|R_b| = %d after balanced insert/delete churn, want 3", got)
+	}
+}

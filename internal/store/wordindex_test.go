@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"testing"
 
 	"xivm/internal/obs"
@@ -131,5 +132,83 @@ func TestWordIndexInvalidation(t *testing.T) {
 	}
 	if builds.Value() != before {
 		t.Fatalf("element-only insert invalidated the word index (builds %d -> %d)", before, builds.Value())
+	}
+}
+
+// TestWordIndexConcurrentWithMutations drives "~word" queries from several
+// goroutines while the writer inserts and deletes text-bearing subtrees —
+// the serving-layer scenario where concurrent readers hit wordItems while
+// the apply loop mutates the canonical relations. Run under -race this
+// catches two historical windows: the unguarded read of the text relation
+// during a cold index build, and the invalidation that used to happen
+// AFTER the relation update left the lock, letting a reader cache (and be
+// served) an index entry that predated the mutation.
+//
+// Every answer must be internally consistent: each returned item's node
+// really contains the word, and Count must agree with some state the store
+// actually passed through (2 matches before an insert, 3 after, never
+// anything else).
+func TestWordIndexConcurrentWithMutations(t *testing.T) {
+	s, doc, _ := newWordStore(t)
+	parent := doc.Root.Children[1] // <b>
+
+	stop := make(chan struct{})
+	errc := make(chan string, 8)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				items := s.Items("~gold")
+				for _, it := range items {
+					if it.Node == nil || !it.Node.MatchesWord("gold") {
+						select {
+						case errc <- "Items(~gold) returned a non-matching item":
+						default:
+						}
+						return
+					}
+				}
+				if n := s.Count("~gold"); n != 2 && n != 3 {
+					select {
+					case errc <- "Count(~gold) observed a state the store never held":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 150; i++ {
+		sub, err := xmltree.ParseString(`<d><text>more gold dust</text></d>`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attached, err := doc.ApplyInsert(parent, sub.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddSubtree(attached)
+		if _, err := doc.ApplyDelete(attached); err != nil {
+			t.Fatal(err)
+		}
+		s.RemoveSubtree(attached)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	if n := s.Count("~gold"); n != 2 {
+		t.Fatalf("Count(~gold) = %d after balanced churn, want 2", n)
 	}
 }

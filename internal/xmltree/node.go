@@ -183,6 +183,31 @@ func (n *Node) Clone() *Node {
 	return c
 }
 
+// Snapshot returns an independent deep copy of the document: fresh Node
+// structs with IDs preserved (unlike Node.Clone, which strips them for
+// template reuse) and a fresh index. The copy shares no mutable state with
+// the original, so it can serve any number of concurrent readers while the
+// original keeps mutating — the epoch-snapshot read path (core.Snapshot)
+// relies on this, and on ID preservation so that view rows and XPath
+// results from the same epoch agree on node identity.
+func (d *Document) Snapshot() *Document {
+	c := &Document{index: make(map[string]*Node, len(d.index))}
+	c.Root = c.cloneKeepIDs(d.Root, nil)
+	return c
+}
+
+func (c *Document) cloneKeepIDs(n, parent *Node) *Node {
+	m := &Node{Kind: n.Kind, Label: n.Label, Value: n.Value, Parent: parent, ID: n.ID}
+	c.index[m.ID.Key()] = m
+	if len(n.Children) > 0 {
+		m.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			m.Children[i] = c.cloneKeepIDs(ch, m)
+		}
+	}
+	return m
+}
+
 // CountNodes returns the number of nodes in the subtree rooted at n.
 func (n *Node) CountNodes() int {
 	total := 1
