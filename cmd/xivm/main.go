@@ -77,7 +77,8 @@ func run() error {
 	loadDir := flag.String("load", "", "directory to restore per-view snapshots from (instead of materializing)")
 	metricsOut := flag.String("metrics", "", `dump engine metrics when done: "json" to stdout, or a file path`)
 	serveAddr := flag.String("serve", "", "serve /debug/pprof and /debug/vars on this address (e.g. :6060)")
-	dataDir := flag.String("data-dir", "", "durable mode: journal statements to a write-ahead log in this directory")
+	dataDir := flag.String("data-dir", "", "durable mode: tenant root directory; each database journals to <data-dir>/<name>")
+	dbName := flag.String("db", "default", "database (tenant) name: the -data-dir subdirectory batch statements apply to, and the bootstrap/statement target of -listen")
 	fsync := flag.String("fsync", "always", "durable mode fsync policy: always, interval, or never")
 	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "group-commit window under -fsync interval")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "durable mode: checkpoint automatically after this many journaled records (0 = never)")
@@ -114,6 +115,7 @@ func run() error {
 			drainTimeout:   *drainTimeout,
 		}, durableConfig{
 			dir:             *dataDir,
+			db:              *dbName,
 			docPath:         *docPath,
 			views:           views,
 			patterns:        patterns,
@@ -130,6 +132,7 @@ func run() error {
 	if *dataDir != "" {
 		return runDurable(ctx, durableConfig{
 			dir:             *dataDir,
+			db:              *dbName,
 			docPath:         *docPath,
 			views:           views,
 			patterns:        patterns,
@@ -339,6 +342,7 @@ func printReport(rep *core.Report, stats bool) {
 
 type durableConfig struct {
 	dir             string
+	db              string
 	docPath         string
 	views           []string
 	patterns        []string
@@ -355,13 +359,32 @@ type durableConfig struct {
 	statements      []string
 }
 
+// resolveTenantDir maps -data-dir/-db to the database directory. -data-dir
+// is a tenant root (<root>/<db> holds the database), but a directory that
+// itself holds checkpoints is the pre-multi-tenant flat layout and is used
+// directly so existing databases keep working.
+func resolveTenantDir(root, db string) (string, error) {
+	if err := wal.ValidTenantName(db); err != nil {
+		return "", err
+	}
+	if ok, err := wal.IsDatabase(nil, root); err == nil && ok {
+		return root, nil
+	}
+	return wal.TenantDir(root, db), nil
+}
+
 // runDurable is the -data-dir mode: every statement goes through the
-// write-ahead log, and the directory recovers to the acknowledged state on
-// the next run. Cancelling ctx stops between statements; everything
-// acknowledged so far is synced on the way out.
+// database's write-ahead log under <data-dir>/<db>, and the directory
+// recovers to the acknowledged state on the next run. Cancelling ctx stops
+// between statements; everything acknowledged so far is synced on the way
+// out.
 func runDurable(ctx context.Context, cfg durableConfig) error {
 	if cfg.engine != "incr" {
 		return fmt.Errorf("-data-dir supports only -engine incr (the log replays through the incremental engine)")
+	}
+	dir, err := resolveTenantDir(cfg.dir, cfg.db)
+	if err != nil {
+		return err
 	}
 	policy, err := wal.ParseSyncPolicy(cfg.fsync)
 	if err != nil {
@@ -385,12 +408,12 @@ func runDurable(ctx context.Context, cfg durableConfig) error {
 		if err != nil {
 			return err
 		}
-		db, err = wal.OpenOrCreate(cfg.dir, docXML, opts)
+		db, err = wal.OpenOrCreate(dir, docXML, opts)
 		if err != nil {
 			return err
 		}
 	} else {
-		db, err = wal.Open(cfg.dir, opts)
+		db, err = wal.Open(dir, opts)
 		if err != nil {
 			return fmt.Errorf("%w (pass -doc to create a new database)", err)
 		}

@@ -9,13 +9,11 @@ import (
 	"strings"
 	"time"
 
-	"xivm/internal/core"
 	"xivm/internal/pattern"
 	"xivm/internal/server"
 	"xivm/internal/update"
 	"xivm/internal/view"
 	"xivm/internal/wal"
-	"xivm/internal/xmltree"
 )
 
 type listenConfig struct {
@@ -25,148 +23,146 @@ type listenConfig struct {
 	drainTimeout   time.Duration
 }
 
-// runListen is the -listen mode: it builds a backend (WAL-durable when
-// -data-dir is set, in-memory otherwise), applies any trailing statements,
-// then serves the query/update HTTP API until ctx is cancelled by a
-// signal. Shutdown is a graceful drain: the listener finishes in-flight
-// HTTP requests, the apply loop drains every accepted update, and the
-// backend syncs (flushing the WAL group-commit window) before exit.
+// runListen is the -listen mode: it builds a tenant registry (durable when
+// -data-dir is set — the directory is a tenant root holding one WAL
+// directory per database — in-memory otherwise), recovers every surviving
+// tenant, bootstraps the -db tenant from -doc when missing, applies any
+// trailing statements to it, then serves the multi-tenant HTTP API until
+// ctx is cancelled by a signal. Shutdown is a graceful drain: the listener
+// finishes in-flight HTTP requests, every tenant's apply loop drains every
+// accepted update, and every backend syncs (flushing its WAL group-commit
+// window) before exit.
 func runListen(ctx context.Context, lc listenConfig, cfg durableConfig) error {
 	if cfg.engine != "incr" {
 		return fmt.Errorf("-listen supports only -engine incr")
+	}
+	if err := wal.ValidTenantName(cfg.db); err != nil {
+		return err
 	}
 	specs, err := compileViewSpecs(cfg.views, cfg.patterns)
 	if err != nil {
 		return err
 	}
+	defaultViews := make([]server.ViewSpec, 0, len(specs))
+	for _, s := range specs {
+		defaultViews = append(defaultViews, server.ViewSpec{Name: s.name, Pattern: s.p.String()})
+	}
+	var defaultDoc string
+	if cfg.docPath != "" {
+		docXML, err := os.ReadFile(cfg.docPath)
+		if err != nil {
+			return err
+		}
+		defaultDoc = string(docXML)
+	}
+	eopts, err := policyOptions(cfg.policy)
+	if err != nil {
+		return err
+	}
 
-	var backend server.Backend
-	closeBackend := func() error { return nil }
+	regCfg := server.RegistryConfig{
+		Shard: server.Config{
+			QueueDepth:     lc.queueDepth,
+			RequestTimeout: lc.requestTimeout,
+		},
+		DefaultDoc:   defaultDoc,
+		DefaultViews: defaultViews,
+		WAL:          wal.Options{Engine: eopts},
+	}
 	if cfg.dir != "" {
 		policy, err := wal.ParseSyncPolicy(cfg.fsync)
 		if err != nil {
 			return err
 		}
-		eopts, err := policyOptions(cfg.policy)
-		if err != nil {
-			return err
-		}
-		opts := wal.Options{
+		regCfg.DataDir = cfg.dir
+		regCfg.WAL = wal.Options{
 			Sync:            policy,
 			SyncInterval:    cfg.fsyncInterval,
 			CheckpointEvery: cfg.checkpointEvery,
 			Compact:         cfg.compact,
 			Engine:          eopts,
 		}
-		var db *wal.DB
-		if cfg.docPath != "" {
-			docXML, err := os.ReadFile(cfg.docPath)
-			if err != nil {
-				return err
-			}
-			db, err = wal.OpenOrCreate(cfg.dir, docXML, opts)
-			if err != nil {
-				return err
-			}
-		} else {
-			db, err = wal.Open(cfg.dir, opts)
-			if err != nil {
-				return fmt.Errorf("%w (pass -doc to create a new database)", err)
-			}
-		}
-		printRecovery(db)
-		for _, s := range specs {
-			if db.HasView(s.name) {
-				fmt.Printf("view %-8s (recovered)\n", s.name)
-				continue
-			}
-			mv, err := db.AddView(s.name, s.p.String())
-			if err != nil {
-				db.Close()
-				return err
-			}
-			fmt.Printf("view %-8s %s  (%d rows)\n", s.name, s.p, mv.View.Len())
-		}
-		if len(db.Engine().Views) == 0 {
-			db.Close()
-			return fmt.Errorf("no views declared (-view / -pattern) and none recovered")
-		}
-		backend, closeBackend = db, db.Close
-	} else {
-		if cfg.docPath == "" {
-			return fmt.Errorf("-doc is required (or -data-dir to reopen a durable database)")
-		}
-		f, err := os.Open(cfg.docPath)
-		if err != nil {
-			return err
-		}
-		doc, err := xmltree.Parse(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		eopts, err := policyOptions(cfg.policy)
-		if err != nil {
-			return err
-		}
-		e := core.New(doc, eopts...)
-		for _, s := range specs {
-			mv, err := e.AddView(s.name, s.p)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("view %-8s %s  (%d rows)\n", s.name, s.p, mv.View.Len())
-		}
-		if len(e.Views) == 0 {
-			return fmt.Errorf("no views declared (-view / -pattern)")
-		}
-		backend = server.EngineBackend{Eng: e}
+	} else if defaultDoc == "" {
+		return fmt.Errorf("-doc is required (or -data-dir to reopen durable databases)")
 	}
 
-	srv := server.New(backend, server.Config{
-		QueueDepth:     lc.queueDepth,
-		RequestTimeout: lc.requestTimeout,
-	})
+	reg, err := server.NewRegistry(regCfg)
+	if err != nil {
+		return err
+	}
+	shutdownReg := func(dctx context.Context) {
+		if err := reg.Shutdown(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "xivm: registry drain:", err)
+		}
+	}
+	for _, st := range reg.Stats() {
+		fmt.Printf("db %-12s (recovered: epoch %d, %d views, %d rows)\n", st.Name, st.Version, st.Views, st.Rows)
+	}
+
+	// Bootstrap the -db tenant (the one trailing statements and the
+	// deprecated single-tenant aliases address) when it does not exist yet.
+	if _, err := reg.Get(cfg.db); err != nil {
+		if defaultDoc == "" {
+			if len(reg.Names()) == 0 {
+				shutdownReg(ctx)
+				return fmt.Errorf("no databases recovered from %s (pass -doc to create %q)", cfg.dir, cfg.db)
+			}
+		} else {
+			sh, err := reg.Create(cfg.db, "", nil)
+			if err != nil {
+				shutdownReg(ctx)
+				return err
+			}
+			snap := sh.Epoch()
+			fmt.Printf("db %-12s (created: %d views)\n", cfg.db, len(snap.Views))
+		}
+	}
+
 	for _, stmt := range cfg.statements {
 		st, err := update.Parse(stmt)
 		if err != nil {
+			shutdownReg(ctx)
 			return err
 		}
-		if _, version, err := srv.Apply(ctx, st); err != nil {
+		sh, err := reg.Get(cfg.db)
+		if err != nil {
+			shutdownReg(ctx)
+			return err
+		}
+		if _, version, err := sh.Apply(ctx, st); err != nil {
+			shutdownReg(ctx)
 			return fmt.Errorf("apply %q: %w", stmt, err)
 		} else {
-			fmt.Printf(">> %s  (version %d)\n", stmt, version)
+			fmt.Printf(">> [%s] %s  (version %d)\n", cfg.db, stmt, version)
 		}
 	}
 
 	ln, err := net.Listen("tcp", lc.addr)
 	if err != nil {
+		shutdownReg(ctx)
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: reg.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	fmt.Printf("serving query/update API on %s (version %d, %d views)\n",
-		ln.Addr(), srv.Epoch().Version, len(srv.Epoch().Views))
+	fmt.Printf("serving multi-tenant API on %s (%d databases)\n", ln.Addr(), len(reg.Names()))
 
 	select {
 	case err := <-serveErr:
+		shutdownReg(ctx)
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("\nshutting down: draining requests and apply queue…")
+	fmt.Println("\nshutting down: draining requests and apply queues…")
 	dctx, cancel := context.WithTimeout(context.Background(), lc.drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "xivm: http drain:", err)
 	}
-	if err := srv.Shutdown(dctx); err != nil {
-		fmt.Fprintln(os.Stderr, "xivm: apply-queue drain:", err)
+	shutdownReg(dctx)
+	for _, st := range reg.Stats() {
+		fmt.Printf("db %-12s drained at epoch %d\n", st.Name, st.Version)
 	}
-	if err := closeBackend(); err != nil {
-		return err
-	}
-	fmt.Printf("drained at version %d\n", srv.Epoch().Version)
 	return nil
 }
 

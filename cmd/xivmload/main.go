@@ -1,32 +1,39 @@
-// Command xivmload generates load against a running xivm serving API
-// (xivm -listen) and reports throughput, latency, and error mix — the
-// measurement companion to the serving layer the way xivmbench is to the
-// maintenance engine.
+// Command xivmload generates load against a running xivm multi-tenant
+// serving API (xivm -listen) and reports per-class throughput, latency,
+// and error mix — the measurement companion to the serving layer the way
+// xivmbench is to the maintenance engine. It is built on the typed
+// internal/client package.
 //
 // Usage:
 //
-//	xivmload -addr http://localhost:8080 [-readers 8] [-writers 2] [-duration 10s]
-//	xivmload -selfserve [-scale 1] …
+//	xivmload -addr http://localhost:8080 [-tenants 4] [-readers 8] [-writers 2] [-duration 10s]
+//	xivmload -selfserve [-tenants 8] [-scale 1] …
 //
-// Readers alternate view queries (discovered via /v1/views) and XPath
-// queries; writers cycle update statements (-stmt, or a built-in XMark mix)
-// through POST /v1/update, counting 429 backpressure rejections separately
-// from hard failures. -selfserve starts an in-process server over a
-// generated XMark document on an ephemeral localhost port first — the CI
-// smoke mode, exercising the full HTTP stack with no external setup.
+// With -tenants N the tool creates databases t0…tN-1 through the admin
+// plane (existing ones are reused) and spreads readers and writers across
+// them round-robin; with -tenants 0 it targets whatever databases the
+// server already has. Readers alternate view queries (discovered per
+// database) and XPath queries; writers cycle update statements (-stmt, or
+// a built-in XMark mix), counting 429 backpressure rejections separately
+// from hard failures. -selfserve starts an in-process registry seeded
+// with a generated XMark default document on an ephemeral localhost port
+// first — the CI smoke mode, exercising the full HTTP stack with no
+// external setup. -verify follows the load with a read-your-writes and
+// cross-tenant isolation probe: a uniquely tagged element is inserted
+// into each database and must be visible there — and only there.
 //
 // The exit status is non-zero if any hard error occurred (connection
-// failures, 5xx, malformed responses), so a smoke run doubles as a check.
+// failures, 5xx, malformed responses, a failed -verify probe), so a
+// smoke run doubles as a check.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,12 +42,11 @@ import (
 	"syscall"
 	"time"
 
-	"xivm/internal/core"
-	"xivm/internal/obs"
+	"xivm/internal/client"
 	"xivm/internal/server"
 	"xivm/internal/update"
+	"xivm/internal/wal"
 	"xivm/internal/xmark"
-	"xivm/internal/xmltree"
 )
 
 type stmtFlag []string
@@ -111,11 +117,13 @@ func run() error {
 	var stmts stmtFlag
 	var queries stmtFlag
 	addr := flag.String("addr", "", "base URL of a running xivm -listen server (e.g. http://localhost:8080)")
-	selfserve := flag.Bool("selfserve", false, "start an in-process server over a generated XMark document instead of targeting -addr")
+	selfserve := flag.Bool("selfserve", false, "start an in-process multi-tenant server seeded with a generated XMark default document instead of targeting -addr")
 	scale := flag.Uint64("scale", 1, "-selfserve: XMark small-document scale factor")
+	tenants := flag.Int("tenants", 0, "create databases t0…tN-1 via the admin plane and spread load across them (0: use the server's existing databases)")
 	readers := flag.Int("readers", 8, "concurrent reader goroutines")
 	writers := flag.Int("writers", 2, "concurrent writer goroutines")
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	verify := flag.Bool("verify", false, "after load, probe each database for read-your-writes and cross-tenant isolation")
 	flag.Var(&stmts, "stmt", "update statement for writers (repeatable; default: built-in XMark mix)")
 	flag.Var(&queries, "xpath", "XPath query for readers (repeatable; default: built-in XMark queries)")
 	flag.Parse()
@@ -130,34 +138,38 @@ func run() error {
 			return fmt.Errorf("-stmt %q: %w", s, err)
 		}
 	}
+	if *selfserve && *tenants == 0 {
+		*tenants = 1
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	base := *addr
 	if *selfserve {
-		doc, err := xmltree.ParseString(xmark.GenerateSmall(*scale))
+		var defaultViews []server.ViewSpec
+		for _, name := range []string{"Q1", "Q2"} {
+			defaultViews = append(defaultViews, server.ViewSpec{Name: name, Pattern: xmark.View(name).String()})
+		}
+		reg, err := server.NewRegistry(server.RegistryConfig{
+			DefaultDoc:   xmark.GenerateSmall(*scale),
+			DefaultViews: defaultViews,
+			WAL:          wal.Options{},
+		})
 		if err != nil {
 			return err
 		}
-		eng := core.New(doc, core.WithMetrics(obs.New()))
-		for _, name := range []string{"Q1", "Q2"} {
-			if _, err := eng.AddView(name, xmark.View(name)); err != nil {
-				return err
-			}
-		}
-		srv := server.New(server.EngineBackend{Eng: eng}, server.Config{})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		hs := &http.Server{Handler: reg.Handler()}
 		go func() { _ = hs.Serve(ln) }()
 		defer func() {
 			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = hs.Shutdown(dctx)
-			_ = srv.Shutdown(dctx)
+			_ = reg.Shutdown(dctx)
 		}()
 		base = "http://" + ln.Addr().String()
 		fmt.Printf("self-serving on %s\n", base)
@@ -165,15 +177,29 @@ func run() error {
 	if base == "" {
 		return fmt.Errorf("-addr or -selfserve required")
 	}
-	base = strings.TrimRight(base, "/")
 
-	client := &http.Client{Timeout: 30 * time.Second}
-	views, err := discoverViews(client, base)
+	// Two clients: readers retry 429s transparently (there should be none),
+	// writers surface them so backpressure is counted, not hidden.
+	rc := client.New(base)
+	wc := client.New(base, client.WithRetries(0))
+	dbNames, err := resolveTargets(ctx, rc, *tenants)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("targeting %s: views %s, %d readers, %d writers, %v\n",
-		base, strings.Join(views, " "), *readers, *writers, *duration)
+	targets := make([]target, 0, len(dbNames))
+	for _, name := range dbNames {
+		vr, err := rc.DB(name).Views(ctx)
+		if err != nil {
+			return fmt.Errorf("db %s: %w", name, err)
+		}
+		t := target{name: name, read: rc.DB(name), write: wc.DB(name)}
+		for _, v := range vr.Views {
+			t.views = append(t.views, v.Name)
+		}
+		targets = append(targets, t)
+	}
+	fmt.Printf("targeting %s: %d databases (%s), %d readers, %d writers, %v\n",
+		base, len(targets), strings.Join(dbNames, " "), *readers, *writers, *duration)
 
 	var readStats, xpathStats, writeStats opStats
 	runCtx, cancel := context.WithTimeout(ctx, *duration)
@@ -185,10 +211,11 @@ func run() error {
 		go func(r int) {
 			defer wg.Done()
 			for i := r; runCtx.Err() == nil; i++ {
-				if i%2 == 0 && len(views) > 0 {
-					readView(client, base, views[i%len(views)], &readStats)
+				t := targets[i%len(targets)]
+				if i%2 == 0 && len(t.views) > 0 {
+					readView(runCtx, t, t.views[i%len(t.views)], &readStats)
 				} else {
-					readXPath(client, base, queries[i%len(queries)], &xpathStats)
+					readXPath(runCtx, t, queries[i%len(queries)], &xpathStats)
 				}
 			}
 		}(r)
@@ -198,7 +225,7 @@ func run() error {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; runCtx.Err() == nil; i++ {
-				writeUpdate(client, base, stmts[i%len(stmts)], &writeStats)
+				writeUpdate(runCtx, targets[i%len(targets)], stmts[i%len(stmts)], &writeStats)
 			}
 		}(w)
 	}
@@ -220,84 +247,123 @@ func run() error {
 		return fmt.Errorf("no load generated (reads %d, writes %d)",
 			readStats.count.Load()+xpathStats.count.Load(), writeStats.count.Load())
 	}
+	if *verify {
+		if err := verifyIsolation(ctx, rc, dbNames); err != nil {
+			return err
+		}
+		fmt.Printf("verified: read-your-writes and isolation across %d databases\n", len(dbNames))
+	}
 	return nil
 }
 
-func discoverViews(client *http.Client, base string) ([]string, error) {
-	resp, err := client.Get(base + "/v1/views")
-	if err != nil {
-		return nil, err
+type target struct {
+	name  string
+	views []string
+	read  *client.DB
+	write *client.DB
+}
+
+// resolveTargets creates t0…tN-1 through the admin plane (tolerating ones
+// that already exist) or, with n == 0, discovers the server's databases.
+func resolveTargets(ctx context.Context, c *client.Client, n int) ([]string, error) {
+	if n == 0 {
+		stats, err := c.ListDBs(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(stats) == 0 {
+			return nil, fmt.Errorf("server has no databases (pass -tenants N to create some)")
+		}
+		names := make([]string, 0, len(stats))
+		for _, st := range stats {
+			names = append(names, st.Name)
+		}
+		return names, nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /v1/views: status %d", resp.StatusCode)
-	}
-	var vr server.ViewsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
-		return nil, err
-	}
-	names := make([]string, 0, len(vr.Views))
-	for _, v := range vr.Views {
-		names = append(names, v.Name)
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		_, err := c.CreateDB(ctx, client.CreateDB{Name: name})
+		var apiErr *client.APIError
+		if err != nil && !(errors.As(err, &apiErr) && apiErr.Code == server.CodeDBExists) {
+			return nil, fmt.Errorf("create db %s: %w", name, err)
+		}
+		names = append(names, name)
 	}
 	return names, nil
 }
 
-func readView(client *http.Client, base, name string, st *opStats) {
-	t0 := time.Now()
-	resp, err := client.Get(base + "/v1/views/" + url.PathEscape(name))
-	if err != nil {
-		st.errors.Add(1)
-		return
+// verifyIsolation inserts a uniquely tagged element into every database,
+// then checks read-your-writes (the tag is visible where written) and
+// cross-tenant isolation (it is visible nowhere else).
+func verifyIsolation(ctx context.Context, c *client.Client, names []string) error {
+	probe := func(name string) string { return fmt.Sprintf("/site/probe-%s", name) }
+	for _, name := range names {
+		stmt := fmt.Sprintf(`insert <probe-%s/> into /site`, name)
+		if _, err := c.DB(name).Update(ctx, stmt); err != nil {
+			return fmt.Errorf("verify %s: %w", name, err)
+		}
 	}
-	defer resp.Body.Close()
-	var vr server.ViewResponse
-	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&vr) != nil {
-		st.errors.Add(1)
+	for _, name := range names {
+		for _, other := range names {
+			xr, err := c.DB(name).XPath(ctx, probe(other))
+			if err != nil {
+				return fmt.Errorf("verify %s: %w", name, err)
+			}
+			if other == name && len(xr.Matches) != 1 {
+				return fmt.Errorf("verify %s: wrote probe, read %d matches (want 1)", name, len(xr.Matches))
+			}
+			if other != name && len(xr.Matches) != 0 {
+				return fmt.Errorf("verify %s: sees %d probe(s) written to %s (want 0)", name, len(xr.Matches), other)
+			}
+			if xr.Tenant != name {
+				return fmt.Errorf("verify %s: response stamped tenant %q", name, xr.Tenant)
+			}
+		}
+	}
+	return nil
+}
+
+func readView(ctx context.Context, t target, name string, st *opStats) {
+	t0 := time.Now()
+	if _, err := t.read.View(ctx, name); err != nil {
+		countErr(ctx, st)
 		return
 	}
 	st.observe(time.Since(t0))
 }
 
-func readXPath(client *http.Client, base, q string, st *opStats) {
+func readXPath(ctx context.Context, t target, q string, st *opStats) {
 	t0 := time.Now()
-	resp, err := client.Get(base + "/v1/xpath?q=" + url.QueryEscape(q))
-	if err != nil {
-		st.errors.Add(1)
-		return
-	}
-	defer resp.Body.Close()
-	var xr server.XPathResponse
-	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&xr) != nil {
-		st.errors.Add(1)
+	if _, err := t.read.XPath(ctx, q); err != nil {
+		countErr(ctx, st)
 		return
 	}
 	st.observe(time.Since(t0))
 }
 
-func writeUpdate(client *http.Client, base, stmt string, st *opStats) {
+func writeUpdate(ctx context.Context, t target, stmt string, st *opStats) {
 	t0 := time.Now()
-	body, _ := json.Marshal(server.UpdateRequest{Statement: stmt})
-	resp, err := client.Post(base+"/v1/update", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		st.errors.Add(1)
-		return
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-		var ur server.UpdateResponse
-		if json.NewDecoder(resp.Body).Decode(&ur) != nil {
-			st.errors.Add(1)
+	if _, err := t.write.Update(ctx, stmt); err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.IsRetryable() {
+			// Backpressure is the designed behavior under overload, not an
+			// error: count it and back off briefly.
+			st.rejected.Add(1)
+			time.Sleep(time.Millisecond)
 			return
 		}
-		st.observe(time.Since(t0))
-	case http.StatusTooManyRequests:
-		// Backpressure is the designed behavior under overload, not an
-		// error: count it and back off briefly.
-		st.rejected.Add(1)
-		time.Sleep(time.Millisecond)
-	default:
-		st.errors.Add(1)
+		countErr(ctx, st)
+		return
 	}
+	st.observe(time.Since(t0))
+}
+
+// countErr records a hard failure unless it is just the run deadline
+// cancelling an in-flight request.
+func countErr(ctx context.Context, st *opStats) {
+	if ctx.Err() != nil {
+		return
+	}
+	st.errors.Add(1)
 }

@@ -19,6 +19,12 @@ import (
 type Snapshot struct {
 	// Version is Engine.Version() at capture time.
 	Version uint64
+	// Tenant names the database this snapshot serves. The engine does not
+	// know its tenant; the serving layer stamps the name once, between
+	// capture and publication, so every reader of a published epoch can
+	// report which tenant and which epoch its response reflects. Empty
+	// outside multi-tenant serving.
+	Tenant string
 	// Views holds one immutable row set per managed view, in registration
 	// order.
 	Views []ViewSnapshot

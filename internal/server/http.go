@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"time"
 
@@ -12,14 +11,18 @@ import (
 	"xivm/internal/xpath"
 )
 
-// Wire types for the JSON API. They are exported so clients (the xivmload
-// generator, tests) can decode responses without re-declaring the shapes.
+// Wire types for the JSON API. They are exported so clients
+// (internal/client, the xivmload generator, tests) can decode responses
+// without re-declaring the shapes. Every data-plane response names the
+// tenant it came from and the serving epoch (Version) it reflects: a
+// reader holding responses from several tenants can assert per-tenant
+// version agreement without out-of-band state.
 
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
-	Status  string `json:"status"` // "ok" or "draining"
-	Version uint64 `json:"version"`
-	Queue   int    `json:"queue"`
+	Status  string `json:"status"`  // "ok" or "draining"
+	Tenants int    `json:"tenants"` // databases currently routed
+	Queue   int    `json:"queue"`   // Σ queued updates across tenants
 }
 
 // ViewInfo is one view's summary in ViewsResponse.
@@ -28,8 +31,9 @@ type ViewInfo struct {
 	Rows int    `json:"rows"`
 }
 
-// ViewsResponse answers GET /v1/views.
+// ViewsResponse answers GET /v1/db/{db}/views.
 type ViewsResponse struct {
+	Tenant  string     `json:"tenant"`
 	Version uint64     `json:"version"`
 	Views   []ViewInfo `json:"views"`
 }
@@ -48,8 +52,9 @@ type RowJSON struct {
 	Entries []EntryJSON `json:"entries"`
 }
 
-// ViewResponse answers GET /v1/views/{name}.
+// ViewResponse answers GET /v1/db/{db}/views/{name}.
 type ViewResponse struct {
+	Tenant  string    `json:"tenant"`
 	Version uint64    `json:"version"`
 	Name    string    `json:"name"`
 	Rows    []RowJSON `json:"rows"`
@@ -62,8 +67,9 @@ type MatchJSON struct {
 	Value string `json:"value"`
 }
 
-// XPathResponse answers GET /v1/xpath.
+// XPathResponse answers GET /v1/db/{db}/xpath.
 type XPathResponse struct {
+	Tenant  string      `json:"tenant"`
 	Version uint64      `json:"version"`
 	Query   string      `json:"query"`
 	Matches []MatchJSON `json:"matches"`
@@ -79,88 +85,147 @@ type UpdateViewJSON struct {
 	Recomputed   bool   `json:"recomputed,omitempty"`
 }
 
-// UpdateRequest is the body of POST /v1/update.
+// UpdateRequest is the body of POST /v1/db/{db}/update.
 type UpdateRequest struct {
 	Statement string `json:"statement"`
 }
 
-// UpdateResponse answers POST /v1/update. Version is the epoch at which the
-// update's effects are readable: a GET observing version >= this sees them.
+// UpdateResponse answers POST /v1/db/{db}/update. Version is the epoch at
+// which the update's effects are readable: a GET observing version >= this
+// sees them.
 type UpdateResponse struct {
+	Tenant  string           `json:"tenant"`
 	Version uint64           `json:"version"`
 	Targets int              `json:"targets"`
 	Views   []UpdateViewJSON `json:"views"`
 }
 
-// ErrorResponse is the body of every non-2xx answer.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// Handler returns the HTTP API:
+// Handler returns the multi-tenant HTTP API.
 //
-//	GET  /healthz            liveness + current epoch version + queue depth
-//	GET  /v1/views           all views' names and row counts
-//	GET  /v1/views/{name}    one view's materialized rows
-//	GET  /v1/xpath?q=PATH    evaluate an XPath query against the epoch doc
-//	POST /v1/update          apply one update statement {"statement": "..."}
-//	GET  /v1/metrics         JSON dump of the metrics registry
+// Data plane (all reads served from the tenant's last published epoch —
+// they never block on any writer, and every response names its tenant and
+// the exact epoch it reflects; updates block until applied and published,
+// or are rejected with the uniform error envelope: 429 queue_full when the
+// tenant's queue is saturated, 503 shutting_down while draining, 504
+// timeout past the deadline):
 //
-// All reads are served from the last published epoch — they never block on
-// the writer, and a response's version field identifies the exact state it
-// reflects. Updates block until applied and published (or rejected: 429
-// when the queue is full, 503 while shutting down, 504 past the deadline).
-func (s *Server) Handler() http.Handler {
+//	GET  /v1/db/{db}/views         the tenant's views: names and row counts
+//	GET  /v1/db/{db}/views/{name}  one view's materialized rows
+//	GET  /v1/db/{db}/xpath?q=PATH  evaluate XPath against the tenant's epoch doc
+//	POST /v1/db/{db}/update        apply one statement {"statement": "..."}
+//	GET  /v1/db/{db}/metrics       the tenant's stats + server.tenant.* counters
+//
+// Admin plane:
+//
+//	GET    /v1/db        list tenants with per-tenant epoch/queue/size stats
+//	POST   /v1/db        create {"name", "document"?, "views"?} (crash-safe)
+//	DELETE /v1/db/{db}   drop: drain, close, delete the WAL dir (crash-safe)
+//
+// Process-wide:
+//
+//	GET /healthz     liveness + tenant count + total queued updates
+//	GET /v1/metrics  JSON dump of the whole metrics registry
+//
+// Deprecated single-tenant aliases, mounted on the "default" tenant and
+// answering with a Deprecation header:
+//
+//	GET  /v1/views, GET /v1/views/{name}, GET /v1/xpath, POST /v1/update
+func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/views", s.handleViews)
-	mux.HandleFunc("GET /v1/views/{name}", s.handleView)
-	mux.HandleFunc("GET /v1/xpath", s.handleXPath)
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	return s.countRequests(mux)
+	mux.HandleFunc("GET /healthz", r.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", r.handleMetrics)
+
+	mux.HandleFunc("GET /v1/db", r.handleListDBs)
+	mux.HandleFunc("POST /v1/db", r.handleCreateDB)
+	mux.HandleFunc("DELETE /v1/db/{db}", r.handleDropDB)
+
+	mux.HandleFunc("GET /v1/db/{db}/views", r.handleViews)
+	mux.HandleFunc("GET /v1/db/{db}/views/{name}", r.handleView)
+	mux.HandleFunc("GET /v1/db/{db}/xpath", r.handleXPath)
+	mux.HandleFunc("POST /v1/db/{db}/update", r.handleUpdate)
+	mux.HandleFunc("GET /v1/db/{db}/metrics", r.handleTenantMetrics)
+
+	mux.HandleFunc("GET /v1/views", deprecatedAlias(r.handleViews))
+	mux.HandleFunc("GET /v1/views/{name}", deprecatedAlias(r.handleView))
+	mux.HandleFunc("GET /v1/xpath", deprecatedAlias(r.handleXPath))
+	mux.HandleFunc("POST /v1/update", deprecatedAlias(r.handleUpdate))
+
+	return r.countRequests(mux)
 }
 
-func (s *Server) countRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.m.httpRequests.Inc()
-		next.ServeHTTP(w, r)
+// deprecatedAlias mounts a pre-multi-tenant route onto the default tenant.
+// The Deprecation header (RFC 9745) plus a successor Link tell clients
+// where the route went without breaking them.
+func deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/db/`+DefaultTenant+`>; rel="successor-version"`)
+		req.SetPathValue("db", DefaultTenant)
+		h(w, req)
+	}
+}
+
+func (r *Registry) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.m.httpRequests.Inc()
+		next.ServeHTTP(w, req)
 	})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+// tenantShard resolves the {db} path segment, answering the 404 envelope
+// itself when the tenant does not exist.
+func (r *Registry) tenantShard(w http.ResponseWriter, req *http.Request) (*Shard, bool) {
+	name := req.PathValue("db")
+	sh, err := r.Get(name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, CodeNoSuchDB, name, err.Error())
+		return nil, false
+	}
+	return sh, true
+}
+
+func (r *Registry) handleHealth(w http.ResponseWriter, req *http.Request) {
 	status := "ok"
-	s.mu.RLock()
-	if s.closed {
+	if r.draining() {
 		status = "draining"
 	}
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:  status,
-		Version: s.Epoch().Version,
-		Queue:   s.QueueLen(),
-	})
+	r.mu.RLock()
+	tenants := len(r.shards)
+	queue := 0
+	for _, sh := range r.shards {
+		queue += sh.QueueLen()
+	}
+	r.mu.RUnlock()
+	writeJSON(w, http.StatusOK, HealthResponse{Status: status, Tenants: tenants, Queue: queue})
 }
 
-func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
-	defer s.observeSince(s.m.queryLatency, time.Now())
-	snap := s.Epoch()
-	resp := ViewsResponse{Version: snap.Version, Views: make([]ViewInfo, 0, len(snap.Views))}
+func (r *Registry) handleViews(w http.ResponseWriter, req *http.Request) {
+	defer r.observeSince(r.m.queryLatency, time.Now())
+	sh, ok := r.tenantShard(w, req)
+	if !ok {
+		return
+	}
+	snap := sh.Epoch()
+	resp := ViewsResponse{Tenant: snap.Tenant, Version: snap.Version, Views: make([]ViewInfo, 0, len(snap.Views))}
 	for i := range snap.Views {
 		resp.Views = append(resp.Views, ViewInfo{Name: snap.Views[i].Name, Rows: len(snap.Views[i].Rows)})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
-	defer s.observeSince(s.m.queryLatency, time.Now())
-	snap := s.Epoch()
-	vs := snap.View(r.PathValue("name"))
-	if vs == nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no such view: " + r.PathValue("name")})
+func (r *Registry) handleView(w http.ResponseWriter, req *http.Request) {
+	defer r.observeSince(r.m.queryLatency, time.Now())
+	sh, ok := r.tenantShard(w, req)
+	if !ok {
 		return
 	}
-	resp := ViewResponse{Version: snap.Version, Name: vs.Name, Rows: make([]RowJSON, 0, len(vs.Rows))}
+	snap := sh.Epoch()
+	vs := snap.View(req.PathValue("name"))
+	if vs == nil {
+		writeErr(w, http.StatusNotFound, CodeNotFound, snap.Tenant, "no such view: "+req.PathValue("name"))
+		return
+	}
+	resp := ViewResponse{Tenant: snap.Tenant, Version: snap.Version, Name: vs.Name, Rows: make([]RowJSON, 0, len(vs.Rows))}
 	for _, row := range vs.Rows {
 		rj := RowJSON{Count: row.Count, Entries: make([]EntryJSON, 0, len(row.Entries))}
 		for _, e := range row.Entries {
@@ -176,50 +241,58 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleXPath(w http.ResponseWriter, r *http.Request) {
-	defer s.observeSince(s.m.xpathLatency, time.Now())
-	q := r.URL.Query().Get("q")
+func (r *Registry) handleXPath(w http.ResponseWriter, req *http.Request) {
+	defer r.observeSince(r.m.xpathLatency, time.Now())
+	sh, ok := r.tenantShard(w, req)
+	if !ok {
+		return
+	}
+	q := req.URL.Query().Get("q")
 	if q == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing q parameter"})
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), "missing q parameter")
 		return
 	}
 	path, err := xpath.Parse(q)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), err.Error())
 		return
 	}
-	snap := s.Epoch()
+	snap := sh.Epoch()
 	nodes := xpath.Eval(snap.Doc(), path)
-	resp := XPathResponse{Version: snap.Version, Query: q, Matches: make([]MatchJSON, 0, len(nodes))}
+	resp := XPathResponse{Tenant: snap.Tenant, Version: snap.Version, Query: q, Matches: make([]MatchJSON, 0, len(nodes))}
 	for _, n := range nodes {
 		resp.Matches = append(resp.Matches, MatchJSON{ID: n.ID.String(), Label: n.Label, Value: n.StringValue()})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	var req UpdateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+func (r *Registry) handleUpdate(w http.ResponseWriter, req *http.Request) {
+	sh, ok := r.tenantShard(w, req)
+	if !ok {
 		return
 	}
-	st, err := update.Parse(req.Statement)
+	var ur UpdateRequest
+	if err := json.NewDecoder(req.Body).Decode(&ur); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), "bad request body: "+err.Error())
+		return
+	}
+	st, err := update.Parse(ur.Statement)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), err.Error())
 		return
 	}
-	ctx := r.Context()
-	if d := s.cfg.requestTimeout(); d > 0 {
+	ctx := req.Context()
+	if d := sh.cfg.requestTimeout(); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	rep, version, err := s.Apply(ctx, st)
+	rep, version, err := sh.Apply(ctx, st)
 	if err != nil {
-		writeError(w, err)
+		writeApplyError(w, sh.Name(), err)
 		return
 	}
-	resp := UpdateResponse{Version: version, Targets: rep.Targets, Views: make([]UpdateViewJSON, 0, len(rep.Views))}
+	resp := UpdateResponse{Tenant: sh.Name(), Version: version, Targets: rep.Targets, Views: make([]UpdateViewJSON, 0, len(rep.Views))}
 	for i := range rep.Views {
 		vr := &rep.Views[i]
 		resp.Views = append(resp.Views, UpdateViewJSON{
@@ -234,31 +307,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (r *Registry) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.m.reg.WriteJSON(w)
+	_ = r.m.reg.WriteJSON(w)
 }
 
-func (s *Server) observeSince(h *obs.Histogram, t0 time.Time) {
+func (r *Registry) observeSince(h *obs.Histogram, t0 time.Time) {
 	h.Observe(time.Since(t0))
-}
-
-func writeError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
-	case errors.Is(err, ErrShuttingDown):
-		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
-	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
-	case errors.Is(err, context.Canceled):
-		// Client went away; 499-style. StatusGatewayTimeout is the closest
-		// standard code that is unmistakably "not applied as far as you know".
-		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

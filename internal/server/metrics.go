@@ -20,6 +20,10 @@ import "xivm/internal/obs"
 // Histograms: server.apply.latency (engine apply time per statement),
 // snapshot.publish (capture+swap time per epoch), server.query.latency and
 // server.xpath.latency (read-path handler time).
+//
+// Multi-tenant serving aggregates every shard into the counters above and
+// additionally keys a small per-tenant set (see tenantMetrics) as
+// server.tenant.<name>.*, so one hot tenant is visible by name.
 type serverMetrics struct {
 	reg *obs.Metrics
 
@@ -64,5 +68,32 @@ func newServerMetrics(reg *obs.Metrics) *serverMetrics {
 		publishLatency:   reg.Histogram("snapshot.publish"),
 		queryLatency:     reg.Histogram("server.query.latency"),
 		xpathLatency:     reg.Histogram("server.xpath.latency"),
+	}
+}
+
+// tenantMetrics is one tenant's slice of the registry:
+//
+//	server.tenant.<name>.applied   statements applied for this tenant
+//	server.tenant.<name>.rejected  updates bounced off this tenant's full queue
+//	server.tenant.<name>.epochs    epochs this tenant published
+//
+// The per-tenant reject counter is the starvation signal the queue-depth
+// limits exist for: a hot tenant racks up rejects while its neighbors'
+// applied counters keep advancing.
+type tenantMetrics struct {
+	applied  *obs.Counter
+	rejected *obs.Counter
+	epochs   *obs.Counter
+}
+
+func newTenantMetrics(reg *obs.Metrics, tenant string) *tenantMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	p := "server.tenant." + tenant + "."
+	return &tenantMetrics{
+		applied:  reg.Counter(p + "applied"),
+		rejected: reg.Counter(p + "rejected"),
+		epochs:   reg.Counter(p + "epochs"),
 	}
 }

@@ -18,6 +18,13 @@ import (
 	"xivm/internal/xmltree"
 )
 
+func testViewSpecs() []ViewSpec {
+	return []ViewSpec{
+		{Name: "Q1", Pattern: xmark.View("Q1").String()},
+		{Name: "Q2", Pattern: xmark.View("Q2").String()},
+	}
+}
+
 func newTestEngine(t *testing.T) *core.Engine {
 	t.Helper()
 	doc, err := xmltree.ParseString(xmark.GenerateSmall(1))
@@ -33,20 +40,35 @@ func newTestEngine(t *testing.T) *core.Engine {
 	return eng
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// newTestRegistry builds an in-memory registry seeded with the XMark
+// default document and views, the default tenant already created, over an
+// httptest listener. wrap, when non-nil, intercepts every tenant's backend
+// (the gating seam).
+func newTestRegistry(t *testing.T, cfg Config, wrap func(string, Backend) Backend) (*Registry, *httptest.Server) {
 	t.Helper()
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.New()
 	}
-	s := New(EngineBackend{Eng: newTestEngine(t)}, cfg)
-	ts := httptest.NewServer(s.Handler())
+	reg, err := NewRegistry(RegistryConfig{
+		Shard:        cfg,
+		DefaultDoc:   xmark.GenerateSmall(1),
+		DefaultViews: testViewSpecs(),
+		wrapBackend:  wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(DefaultTenant, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		_ = s.Shutdown(ctx)
+		_ = reg.Shutdown(ctx)
 	})
-	return s, ts
+	return reg, ts
 }
 
 func getJSON(t *testing.T, url string, into any) int {
@@ -64,10 +86,12 @@ func getJSON(t *testing.T, url string, into any) int {
 	return resp.StatusCode
 }
 
-func postUpdate(t *testing.T, url, stmt string) (*http.Response, UpdateResponse) {
+// postUpdate sends one statement to dbURL/update, where dbURL is a
+// data-plane prefix like ts.URL+"/v1/db/default".
+func postUpdate(t *testing.T, dbURL, stmt string) (*http.Response, UpdateResponse) {
 	t.Helper()
 	body := strings.NewReader(fmt.Sprintf(`{"statement": %q}`, stmt))
-	resp, err := http.Post(url+"/v1/update", "application/json", body)
+	resp, err := http.Post(dbURL+"/update", "application/json", body)
 	if err != nil {
 		t.Fatalf("POST update: %v", err)
 	}
@@ -82,19 +106,23 @@ func postUpdate(t *testing.T, url, stmt string) (*http.Response, UpdateResponse)
 }
 
 func TestAPIQueryAndUpdate(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestRegistry(t, Config{}, nil)
+	db := ts.URL + "/v1/db/" + DefaultTenant
 
 	var health HealthResponse
 	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
 		t.Fatalf("healthz status %d", code)
 	}
-	if health.Status != "ok" {
-		t.Fatalf("health.Status = %q, want ok", health.Status)
+	if health.Status != "ok" || health.Tenants != 1 {
+		t.Fatalf("health = %+v, want ok with 1 tenant", health)
 	}
 
 	var views ViewsResponse
-	if code := getJSON(t, ts.URL+"/v1/views", &views); code != http.StatusOK {
+	if code := getJSON(t, db+"/views", &views); code != http.StatusOK {
 		t.Fatalf("views status %d", code)
+	}
+	if views.Tenant != DefaultTenant {
+		t.Fatalf("views.Tenant = %q, want %q", views.Tenant, DefaultTenant)
 	}
 	if len(views.Views) != 2 {
 		t.Fatalf("views = %d, want 2", len(views.Views))
@@ -110,8 +138,11 @@ func TestAPIQueryAndUpdate(t *testing.T) {
 	}
 
 	var vr ViewResponse
-	if code := getJSON(t, ts.URL+"/v1/views/Q1", &vr); code != http.StatusOK {
+	if code := getJSON(t, db+"/views/Q1", &vr); code != http.StatusOK {
 		t.Fatalf("view Q1 status %d", code)
+	}
+	if vr.Tenant != DefaultTenant {
+		t.Fatalf("view.Tenant = %q, want %q", vr.Tenant, DefaultTenant)
 	}
 	if len(vr.Rows) != q1Before {
 		t.Fatalf("view rows %d != summary rows %d", len(vr.Rows), q1Before)
@@ -126,15 +157,18 @@ func TestAPIQueryAndUpdate(t *testing.T) {
 
 	// An applied update must be readable at the acknowledged version
 	// (read-your-writes after ack).
-	resp, ur := postUpdate(t, ts.URL, `insert <person id="pz"><name>Zed New</name></person> into /site/people`)
+	resp, ur := postUpdate(t, db, `insert <person id="pz"><name>Zed New</name></person> into /site/people`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("update status %d", resp.StatusCode)
 	}
 	if ur.Targets != 1 {
 		t.Fatalf("update targets = %d, want 1", ur.Targets)
 	}
+	if ur.Tenant != DefaultTenant {
+		t.Fatalf("update.Tenant = %q, want %q", ur.Tenant, DefaultTenant)
+	}
 	var after ViewResponse
-	getJSON(t, ts.URL+"/v1/views/Q1", &after)
+	getJSON(t, db+"/views/Q1", &after)
 	if after.Version < ur.Version {
 		t.Fatalf("read version %d < acked update version %d", after.Version, ur.Version)
 	}
@@ -143,7 +177,7 @@ func TestAPIQueryAndUpdate(t *testing.T) {
 	}
 
 	var xr XPathResponse
-	if code := getJSON(t, ts.URL+"/v1/xpath?q="+`/site/people/person/name`, &xr); code != http.StatusOK {
+	if code := getJSON(t, db+"/xpath?q="+`/site/people/person/name`, &xr); code != http.StatusOK {
 		t.Fatalf("xpath status %d", code)
 	}
 	if len(xr.Matches) != len(after.Rows) {
@@ -156,28 +190,42 @@ func TestAPIQueryAndUpdate(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatal("inserted person's name not visible through /v1/xpath")
+		t.Fatal("inserted person's name not visible through the xpath endpoint")
 	}
 
 	if code := getJSON(t, ts.URL+"/v1/metrics", nil); code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
+	var tm TenantMetricsResponse
+	if code := getJSON(t, db+"/metrics", &tm); code != http.StatusOK {
+		t.Fatalf("tenant metrics status %d", code)
+	}
+	if tm.Name != DefaultTenant || tm.Applied < 1 || tm.Epochs < 1 {
+		t.Fatalf("tenant metrics = %+v, want default tenant with applied/epochs >= 1", tm)
+	}
 }
 
 func TestAPIErrors(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	_, ts := newTestRegistry(t, Config{}, nil)
+	db := ts.URL + "/v1/db/" + DefaultTenant
 
 	var er ErrorResponse
-	if code := getJSON(t, ts.URL+"/v1/views/nope", &er); code != http.StatusNotFound {
+	if code := getJSON(t, db+"/views/nope", &er); code != http.StatusNotFound {
 		t.Fatalf("unknown view status %d, want 404", code)
 	}
-	if code := getJSON(t, ts.URL+"/v1/xpath", &er); code != http.StatusBadRequest {
+	if er.Error.Code != CodeNotFound || er.Error.Tenant != DefaultTenant {
+		t.Fatalf("unknown view envelope = %+v, want code %s tenant %s", er.Error, CodeNotFound, DefaultTenant)
+	}
+	if code := getJSON(t, db+"/xpath", &er); code != http.StatusBadRequest {
 		t.Fatalf("missing q status %d, want 400", code)
 	}
-	if resp, _ := postUpdate(t, ts.URL, `mangle /site into chaos`); resp.StatusCode != http.StatusBadRequest {
+	if er.Error.Code != CodeBadRequest {
+		t.Fatalf("missing q envelope code = %q, want %s", er.Error.Code, CodeBadRequest)
+	}
+	if resp, _ := postUpdate(t, db, `mangle /site into chaos`); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad statement status %d, want 400", resp.StatusCode)
 	}
-	resp, err := http.Post(ts.URL+"/v1/update", "application/json", strings.NewReader("{"))
+	resp, err := http.Post(db+"/update", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,13 +233,22 @@ func TestAPIErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad body status %d, want 400", resp.StatusCode)
 	}
+
+	// Data-plane requests for a tenant that does not exist: 404 no_such_db,
+	// with the envelope naming the tenant asked for.
+	if code := getJSON(t, ts.URL+"/v1/db/ghost/views", &er); code != http.StatusNotFound {
+		t.Fatalf("ghost tenant status %d, want 404", code)
+	}
+	if er.Error.Code != CodeNoSuchDB || er.Error.Tenant != "ghost" {
+		t.Fatalf("ghost tenant envelope = %+v, want code %s tenant ghost", er.Error, CodeNoSuchDB)
+	}
 }
 
 // gateBackend wraps an engine backend but blocks every ApplyCtx until
 // released, so tests can hold the writer busy while probing queue
 // behavior. panicNext makes the next apply panic instead.
 type gateBackend struct {
-	EngineBackend
+	Backend
 	gate      chan struct{}
 	panicNext bool
 }
@@ -208,7 +265,7 @@ func (b *gateBackend) ApplyCtx(ctx context.Context, st *update.Statement) (*core
 		b.panicNext = false
 		panic("injected apply failure")
 	}
-	return b.EngineBackend.ApplyCtx(ctx, st)
+	return b.Backend.ApplyCtx(ctx, st)
 }
 
 func mustStatement(t *testing.T, src string) *update.Statement {
@@ -222,10 +279,14 @@ func mustStatement(t *testing.T, src string) *update.Statement {
 
 func TestQueueFullBackpressure(t *testing.T) {
 	gate := make(chan struct{})
-	b := &gateBackend{EngineBackend: EngineBackend{Eng: newTestEngine(t)}, gate: gate}
-	s := New(b, Config{QueueDepth: 1, Metrics: obs.New()})
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
+	reg, ts := newTestRegistry(t, Config{QueueDepth: 1}, func(tenant string, b Backend) Backend {
+		return &gateBackend{Backend: b, gate: gate}
+	})
+	db := ts.URL + "/v1/db/" + DefaultTenant
+	sh, err := reg.Get(DefaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	st := `insert <person id="pq"><name>Queued</name></person> into /site/people`
 	// First submission occupies the writer (blocked on the gate); the
@@ -233,21 +294,21 @@ func TestQueueFullBackpressure(t *testing.T) {
 	results := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			_, _, err := s.Apply(context.Background(), mustStatement(t, st))
+			_, _, err := sh.Apply(context.Background(), mustStatement(t, st))
 			results <- err
 		}()
 	}
 	// Wait until the writer has dequeued the first request and the second
 	// sits in the queue, so the third submission deterministically bounces.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.QueueLen() != 1 {
+	for sh.QueueLen() != 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never filled")
 		}
 		time.Sleep(time.Millisecond)
 	}
 
-	resp, _ := postUpdate(t, ts.URL, st)
+	resp, _ := postUpdate(t, db, st)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full-queue update status %d, want 429", resp.StatusCode)
 	}
@@ -257,7 +318,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 	// Reads must not be blocked by the stuck writer.
 	var views ViewsResponse
-	if code := getJSON(t, ts.URL+"/v1/views", &views); code != http.StatusOK {
+	if code := getJSON(t, db+"/views", &views); code != http.StatusOK {
 		t.Fatalf("views during writer stall: status %d", code)
 	}
 
@@ -267,23 +328,17 @@ func TestQueueFullBackpressure(t *testing.T) {
 			t.Fatalf("queued apply failed after release: %v", err)
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := s.Shutdown(ctx); err != nil {
-		t.Fatalf("shutdown: %v", err)
-	}
 }
 
 func TestUpdateDeadline(t *testing.T) {
 	gate := make(chan struct{})
 	defer close(gate)
-	b := &gateBackend{EngineBackend: EngineBackend{Eng: newTestEngine(t)}, gate: gate}
-	s := New(b, Config{RequestTimeout: 30 * time.Millisecond, Metrics: obs.New()})
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
+	_, ts := newTestRegistry(t, Config{RequestTimeout: 30 * time.Millisecond}, func(tenant string, b Backend) Backend {
+		return &gateBackend{Backend: b, gate: gate}
+	})
 
 	st := `insert <person id="pd"><name>Late</name></person> into /site/people`
-	resp, _ := postUpdate(t, ts.URL, st)
+	resp, _ := postUpdate(t, ts.URL+"/v1/db/"+DefaultTenant, st)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("deadline update status %d, want 504", resp.StatusCode)
 	}
@@ -291,13 +346,13 @@ func TestUpdateDeadline(t *testing.T) {
 
 func TestApplyPanicKeepsServing(t *testing.T) {
 	m := obs.New()
-	b := &gateBackend{EngineBackend: EngineBackend{Eng: newTestEngine(t)}, panicNext: true}
-	s := New(b, Config{Metrics: m})
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
+	_, ts := newTestRegistry(t, Config{Metrics: m}, func(tenant string, b Backend) Backend {
+		return &gateBackend{Backend: b, panicNext: true}
+	})
+	db := ts.URL + "/v1/db/" + DefaultTenant
 
 	st := `insert <person id="pp"><name>Boom</name></person> into /site/people`
-	resp, _ := postUpdate(t, ts.URL, st)
+	resp, _ := postUpdate(t, db, st)
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("panicked update status %d, want 422", resp.StatusCode)
 	}
@@ -307,19 +362,14 @@ func TestApplyPanicKeepsServing(t *testing.T) {
 
 	// The writer loop survived: the same statement succeeds next time and
 	// the engine's views are consistent.
-	resp2, ur := postUpdate(t, ts.URL, st)
+	resp2, ur := postUpdate(t, db, st)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("post-panic update status %d, want 200", resp2.StatusCode)
 	}
 	var vr ViewResponse
-	getJSON(t, ts.URL+"/v1/views/Q1", &vr)
+	getJSON(t, db+"/views/Q1", &vr)
 	if vr.Version < ur.Version {
 		t.Fatalf("read version %d < acked version %d after panic recovery", vr.Version, ur.Version)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := s.Shutdown(ctx); err != nil {
-		t.Fatalf("shutdown: %v", err)
 	}
 }
 
@@ -333,7 +383,7 @@ func (b *syncBackend) Sync() error { close(b.synced); return nil }
 
 func TestShutdownDrains(t *testing.T) {
 	b := &syncBackend{EngineBackend: EngineBackend{Eng: newTestEngine(t)}, synced: make(chan struct{})}
-	s := New(b, Config{Metrics: obs.New()})
+	s := NewShard("solo", b, nil, Config{Metrics: obs.New()})
 
 	// Load a few updates, then shut down: all accepted work must complete
 	// and the backend must be synced before Shutdown returns.
@@ -381,12 +431,13 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatal("no update completed before drain")
 	}
 
-	// Post-shutdown submissions are rejected, reads still work.
+	// Post-shutdown submissions are rejected, reads still work, and the
+	// published epoch carries the tenant stamp.
 	if _, _, err := s.Apply(context.Background(), mustStatement(t, `delete /site/people/person`)); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("post-shutdown apply error = %v, want ErrShuttingDown", err)
 	}
-	if s.Epoch() == nil {
-		t.Fatal("epoch unavailable after shutdown")
+	if snap := s.Epoch(); snap == nil || snap.Tenant != "solo" {
+		t.Fatalf("epoch after shutdown = %+v, want tenant solo", s.Epoch())
 	}
 	// Idempotent.
 	if err := s.Shutdown(ctx); err != nil {

@@ -1,26 +1,36 @@
-// Package server is the concurrent serving layer: it turns a maintenance
-// engine (bare, or wrapped in the internal/wal durability layer) into a
-// system that answers queries while updates stream in.
+// Package server is the concurrent, multi-tenant serving layer: a Registry
+// hosts many independent databases (tenants) in one process, each served by
+// its own shard — a maintenance engine (bare, or wrapped in the
+// internal/wal durability layer) behind a single-writer apply loop that
+// answers queries while updates stream in.
 //
-// The concurrency model is single-writer / snapshot-isolated readers:
+// The per-tenant concurrency model is single-writer / snapshot-isolated
+// readers:
 //
-//   - All updates funnel through one bounded queue drained by a single
-//     apply goroutine, which preserves the engine's single-threaded
+//   - All of a tenant's updates funnel through one bounded queue drained by
+//     a single apply goroutine, which preserves the engine's single-threaded
 //     mutation contract and rides the WAL's group commit when the backend
 //     is a wal.DB. A full queue rejects immediately with ErrQueueFull
-//     (surfaced as HTTP 429), which is the backpressure signal.
+//     (surfaced as HTTP 429), which is the backpressure signal — and the
+//     isolation boundary: a hot tenant saturates only its own queue and
+//     writer, never another tenant's.
 //
 //   - After every applied statement the writer publishes a fresh epoch: an
 //     immutable core.Snapshot (deep-copied view rows plus an ID-preserving
-//     document copy) swapped in with one atomic pointer store. Any number of
-//     concurrent readers serve view and XPath queries from the last
-//     published epoch without taking any lock the writer can contend on.
-//     Readers therefore observe only states that existed between whole
-//     statements — never a half-propagated view.
+//     document copy, stamped with the tenant name) swapped in with one
+//     atomic pointer store. Any number of concurrent readers serve view and
+//     XPath queries from the last published epoch without taking any lock
+//     the writer can contend on. Readers therefore observe only states that
+//     existed between whole statements — never a half-propagated view.
 //
 //   - Shutdown closes the queue, lets the writer drain every accepted
 //     request, then syncs the backend (forcing the WAL group-commit buffer
 //     to disk) before reporting done.
+//
+// The Registry adds the tenant lifecycle on top (create, drop, list — all
+// crash-safe, see internal/wal's tenant layout) and the HTTP surface: the
+// data plane under /v1/db/{name}/…, the admin plane under /v1/db, and
+// deprecated single-tenant aliases mounted on the "default" tenant.
 package server
 
 import (
@@ -36,12 +46,13 @@ import (
 	"xivm/internal/update"
 )
 
-// ErrQueueFull is returned when the apply queue is at capacity; callers
-// should back off and retry (HTTP maps it to 429 Too Many Requests).
+// ErrQueueFull is returned when a tenant's apply queue is at capacity;
+// callers should back off and retry (HTTP maps it to 429 Too Many
+// Requests).
 var ErrQueueFull = errors.New("server: apply queue full")
 
-// ErrShuttingDown is returned for updates submitted after Shutdown began
-// (HTTP maps it to 503 Service Unavailable).
+// ErrShuttingDown is returned for updates submitted after the shard began
+// draining (HTTP maps it to 503 Service Unavailable).
 var ErrShuttingDown = errors.New("server: shutting down")
 
 // Backend is what the serving layer needs from the engine side: the wal.DB
@@ -72,17 +83,17 @@ func (b EngineBackend) ApplyCtx(ctx context.Context, st *update.Statement) (*cor
 // Sync is a no-op: a bare engine has no durability buffer.
 func (EngineBackend) Sync() error { return nil }
 
-// Config tunes a Server. The zero value selects the defaults noted on each
-// field.
+// Config tunes one shard (one tenant's serving loop). The zero value
+// selects the defaults noted on each field.
 type Config struct {
-	// QueueDepth bounds the apply queue; submissions beyond it fail fast
-	// with ErrQueueFull. Default 64.
+	// QueueDepth bounds the tenant's apply queue; submissions beyond it
+	// fail fast with ErrQueueFull. Default 64.
 	QueueDepth int
 	// RequestTimeout is the per-request deadline applied to HTTP update
-	// and query handlers (0 = 10s; negative = no deadline). A statement
-	// whose deadline expires while still queued is abandoned by its
-	// client; the writer then observes the cancelled context and skips it
-	// before mutating anything.
+	// handlers (0 = 10s; negative = no deadline). A statement whose
+	// deadline expires while still queued is abandoned by its client; the
+	// writer then observes the cancelled context and skips it before
+	// mutating anything.
 	RequestTimeout time.Duration
 	// Metrics selects the registry for the server.* and snapshot.*
 	// instruments (nil = obs.Default()).
@@ -106,13 +117,21 @@ func (c Config) requestTimeout() time.Duration {
 	return c.RequestTimeout
 }
 
-// Server serves snapshot-isolated reads over a single-writer apply loop.
-// Create with New, serve HTTP via Handler, stop with Shutdown.
-type Server struct {
+// Shard serves one tenant: snapshot-isolated reads over a single-writer
+// apply loop. Create with NewShard (or through a Registry), stop with
+// Close. A Shard has no HTTP surface of its own — the Registry routes
+// /v1/db/{name}/… requests to it.
+type Shard struct {
+	name    string
 	cfg     Config
 	backend Backend
 	eng     *core.Engine
 	m       *serverMetrics
+	tm      *tenantMetrics
+
+	// closer releases the backend (closing the WAL for durable tenants)
+	// after the writer has drained; nil for backends nobody owns.
+	closer func() error
 
 	// epoch is the last published snapshot; readers load it with one
 	// atomic pointer read and never touch the live engine.
@@ -139,15 +158,20 @@ type applyResult struct {
 	err     error
 }
 
-// New builds a server over the backend, publishes the initial epoch, and
-// starts the writer loop. The backend's engine must not be mutated by
-// anyone else from this point on.
-func New(b Backend, cfg Config) *Server {
-	s := &Server{
+// NewShard builds a tenant's shard over the backend, publishes the initial
+// epoch, and starts the writer loop. The backend's engine must not be
+// mutated by anyone else from this point on. closer, when non-nil, is
+// called once after the writer drains (Close); use it to release a
+// durable backend.
+func NewShard(name string, b Backend, closer func() error, cfg Config) *Shard {
+	s := &Shard{
+		name:    name,
 		cfg:     cfg,
 		backend: b,
 		eng:     b.Engine(),
 		m:       newServerMetrics(cfg.Metrics),
+		tm:      newTenantMetrics(cfg.Metrics, name),
+		closer:  closer,
 		queue:   make(chan *applyReq, cfg.queueDepth()),
 		done:    make(chan struct{}),
 	}
@@ -156,12 +180,18 @@ func New(b Backend, cfg Config) *Server {
 	return s
 }
 
+// Name returns the tenant this shard serves.
+func (s *Shard) Name() string { return s.name }
+
 // Epoch returns the last published snapshot. It never returns nil and the
 // result is immutable — hold it as long as needed.
-func (s *Server) Epoch() *core.Snapshot { return s.epoch.Load() }
+func (s *Shard) Epoch() *core.Snapshot { return s.epoch.Load() }
 
 // QueueLen reports how many accepted updates are waiting for the writer.
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Shard) QueueLen() int { return len(s.queue) }
+
+// QueueCap reports the tenant's queue-depth limit.
+func (s *Shard) QueueCap() int { return cap(s.queue) }
 
 // Apply submits one statement to the writer loop and waits for it to be
 // applied and its epoch published, honoring ctx. It returns the engine
@@ -169,7 +199,7 @@ func (s *Server) QueueLen() int { return len(s.queue) }
 // to readers. ErrQueueFull and ErrShuttingDown reject without queuing; a
 // ctx expiring while the request is queued abandons it (the writer skips
 // abandoned requests before mutating anything).
-func (s *Server) Apply(ctx context.Context, st *update.Statement) (*core.Report, uint64, error) {
+func (s *Shard) Apply(ctx context.Context, st *update.Statement) (*core.Report, uint64, error) {
 	req := &applyReq{ctx: ctx, st: st, resp: make(chan applyResult, 1)}
 	s.mu.RLock()
 	if s.closed {
@@ -184,6 +214,7 @@ func (s *Server) Apply(ctx context.Context, st *update.Statement) (*core.Report,
 	default:
 		s.mu.RUnlock()
 		s.m.rejectedFull.Inc()
+		s.tm.rejected.Inc()
 		return nil, 0, ErrQueueFull
 	}
 	select {
@@ -201,7 +232,7 @@ func (s *Server) Apply(ctx context.Context, st *update.Statement) (*core.Report,
 // accepted request and sync the backend, and returns nil on a clean drain
 // or ctx.Err() if the deadline expires first (the writer keeps draining in
 // the background either way). Safe to call more than once.
-func (s *Server) Shutdown(ctx context.Context) error {
+func (s *Shard) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -216,10 +247,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// Close drains the shard (Shutdown) and then releases its backend. The
+// backend is released only after a complete drain — if ctx expires first,
+// Close returns the error and leaves the backend open so the still-running
+// writer never touches closed files.
+func (s *Shard) Close(ctx context.Context) error {
+	if err := s.Shutdown(ctx); err != nil {
+		return err
+	}
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer()
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Shard) draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
 // applyLoop is the single writer: it drains the queue in FIFO order, and
 // after the queue closes it syncs the backend so acknowledged updates are
 // durable before done is signalled.
-func (s *Server) applyLoop() {
+func (s *Shard) applyLoop() {
 	defer close(s.done)
 	for req := range s.queue {
 		res := s.applyOne(req)
@@ -235,7 +287,7 @@ func (s *Server) applyLoop() {
 // is published before the client is answered, so an acknowledged update is
 // always readable (read-your-writes) and an unacknowledged one is at worst
 // readable early, never lost.
-func (s *Server) applyOne(req *applyReq) applyResult {
+func (s *Shard) applyOne(req *applyReq) applyResult {
 	if err := req.ctx.Err(); err != nil {
 		s.m.abandoned.Inc()
 		return applyResult{err: err}
@@ -251,15 +303,16 @@ func (s *Server) applyOne(req *applyReq) applyResult {
 		return applyResult{rep: rep, version: s.Epoch().Version, err: err}
 	}
 	s.m.applied.Inc()
+	s.tm.applied.Inc()
 	return applyResult{rep: rep, version: s.Epoch().Version}
 }
 
 // safeApply contains a panic escaping the engine's own per-view recovery
 // (core.propagateAll repairs panicking views, but a panic elsewhere in the
 // apply path would otherwise kill the writer goroutine and wedge every
-// client). The engine is repaired by recomputing all views; the statement
-// is reported failed.
-func (s *Server) safeApply(ctx context.Context, st *update.Statement) (rep *core.Report, err error) {
+// client of this tenant). The engine is repaired by recomputing all views;
+// the statement is reported failed.
+func (s *Shard) safeApply(ctx context.Context, st *update.Statement) (rep *core.Report, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.m.applyPanics.Inc()
@@ -270,14 +323,17 @@ func (s *Server) safeApply(ctx context.Context, st *update.Statement) (rep *core
 	return s.backend.ApplyCtx(ctx, st)
 }
 
-// publish captures the engine state and swaps it in as the new epoch.
-// Writer-goroutine only (and once from New, before the loop starts).
-func (s *Server) publish() {
+// publish captures the engine state, stamps it with the tenant name, and
+// swaps it in as the new epoch. Writer-goroutine only (and once from
+// NewShard, before the loop starts).
+func (s *Shard) publish() {
 	t0 := time.Now()
 	snap := s.eng.Snapshot()
+	snap.Tenant = s.name
 	s.epoch.Store(snap)
 	s.m.publishLatency.Observe(time.Since(t0))
 	s.m.epochs.Inc()
+	s.tm.epochs.Inc()
 	var rows int64
 	for i := range snap.Views {
 		rows += int64(len(snap.Views[i].Rows))

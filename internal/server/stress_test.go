@@ -54,7 +54,9 @@ type expectedState struct {
 // engine and records, keyed by engine version, the state every published
 // epoch must show. Versions advance identically in both engines because
 // both apply the same statements to the same initial document and version
-// bumps are a deterministic function of the statement sequence.
+// bumps are a deterministic function of the statement sequence. Each
+// tenant gets its own oracle: the shadows never mix, which is exactly the
+// isolation property under test.
 type shadowOracle struct {
 	eng *core.Engine
 
@@ -172,42 +174,54 @@ func equalMatchJSON(a, b []MatchJSON) bool {
 	return true
 }
 
-// TestStressReadersVsWriter is the serving layer's isolation acceptance
-// test: 8 concurrent readers hammer view and XPath endpoints over a real
-// HTTP listener while one writer streams 210 update statements through the
-// WAL-backed apply loop. Every response must carry a published epoch
-// version, versions must be monotone per reader, and the payload must
-// equal a fresh recomputation of the view (or query) at exactly that
-// version's document state — i.e. readers never observe a torn,
-// half-propagated, or unpublished state. Run it under -race.
-func TestStressReadersVsWriter(t *testing.T) {
+// TestStressReadersVsWriters is the multi-tenant serving layer's isolation
+// acceptance test: two WAL-backed tenants share one registry and one HTTP
+// listener; each has its own writer streaming update statements while 8
+// concurrent readers hammer both tenants' view and XPath endpoints. Every
+// response must name its tenant, carry a published epoch version, versions
+// must be monotone per reader per tenant, and the payload must equal a
+// fresh recomputation of the view (or query) at exactly that version's
+// document state in THAT tenant's shadow — i.e. readers never observe a
+// torn, half-propagated, unpublished, or cross-tenant state. Run it under
+// -race.
+func TestStressReadersVsWriters(t *testing.T) {
 	const (
 		readers    = 8
-		statements = 210
+		statements = 120 // per tenant
 	)
-	docXML := xmark.GenerateSmall(1)
-	db, err := wal.Create(t.TempDir(), []byte(docXML), wal.Options{Metrics: obs.New()})
+	tenants := []string{"tide", "pool"}
+	// Different scales so the two tenants' documents — and therefore their
+	// oracles — are never accidentally interchangeable.
+	docs := map[string]string{
+		tenants[0]: xmark.GenerateSmall(1),
+		tenants[1]: xmark.GenerateSmall(2),
+	}
+
+	reg, err := NewRegistry(RegistryConfig{
+		Shard:        Config{QueueDepth: 32, Metrics: obs.New()},
+		DataDir:      t.TempDir(),
+		WAL:          wal.Options{Metrics: obs.New()},
+		DefaultViews: testViewSpecs(),
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
-	for _, name := range stressViews {
-		if _, err := db.AddView(name, xmark.View(name).String()); err != nil {
-			t.Fatalf("add view %s: %v", name, err)
+	oracles := make(map[string]*shadowOracle, len(tenants))
+	for _, name := range tenants {
+		if _, err := reg.Create(name, docs[name], nil); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		oracles[name] = newShadowOracle(t, docs[name])
+		sh, _ := reg.Get(name)
+		if sv, ev := oracles[name].eng.Version(), sh.Epoch().Version; sv != ev {
+			t.Fatalf("%s: shadow version %d != serving version %d at start", name, sv, ev)
 		}
 	}
-
-	oracle := newShadowOracle(t, docXML)
-	if sv, ev := oracle.eng.Version(), db.Engine().Version(); sv != ev {
-		t.Fatalf("shadow version %d != server engine version %d at start", sv, ev)
-	}
-
-	s := New(db, Config{QueueDepth: 32, Metrics: obs.New()})
-	ts := httptest.NewServer(s.Handler())
+	ts := httptest.NewServer(reg.Handler())
 	defer ts.Close()
 
 	stop := make(chan struct{})
-	errc := make(chan string, readers)
+	errc := make(chan string, readers+len(tenants))
 	fail := func(format string, args ...any) {
 		select {
 		case errc <- fmt.Sprintf(format, args...):
@@ -222,19 +236,22 @@ func TestStressReadersVsWriter(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			var lastVersion uint64
-			for i := 0; ; i++ {
+			lastVersion := make(map[string]uint64, len(tenants))
+			for i := r; ; i++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
+				tenant := tenants[i%len(tenants)]
+				oracle := oracles[tenant]
+				base := ts.URL + "/v1/db/" + tenant
 				var version uint64
-				switch i % 4 {
+				switch (i / len(tenants)) % 4 {
 				case 0, 1: // view reads
 					name := stressViews[(i/2)%len(stressViews)]
 					var vr ViewResponse
-					resp, err := client.Get(ts.URL + "/v1/views/" + name)
+					resp, err := client.Get(base + "/views/" + name)
 					if err != nil {
 						fail("reader %d: GET view: %v", r, err)
 						return
@@ -243,24 +260,28 @@ func TestStressReadersVsWriter(t *testing.T) {
 					err = json.NewDecoder(resp.Body).Decode(&vr)
 					resp.Body.Close()
 					if err != nil || code != http.StatusOK {
-						fail("reader %d: view %s: status %d err %v", r, name, code, err)
+						fail("reader %d: %s view %s: status %d err %v", r, tenant, name, code, err)
+						return
+					}
+					if vr.Tenant != tenant {
+						fail("reader %d: asked %s, response stamped %q", r, tenant, vr.Tenant)
 						return
 					}
 					exp := oracle.at(vr.Version)
 					if exp == nil {
-						fail("reader %d: view %s response at unpublished version %d", r, name, vr.Version)
+						fail("reader %d: %s view %s response at unpublished version %d", r, tenant, name, vr.Version)
 						return
 					}
 					if !equalRowJSON(vr.Rows, exp.views[name]) {
-						fail("reader %d: view %s at version %d does not equal fresh recomputation (%d rows, want %d)",
-							r, name, vr.Version, len(vr.Rows), len(exp.views[name]))
+						fail("reader %d: %s view %s at version %d does not equal fresh recomputation (%d rows, want %d)",
+							r, tenant, name, vr.Version, len(vr.Rows), len(exp.views[name]))
 						return
 					}
 					version = vr.Version
 				case 2, 3: // XPath reads
 					q := stressQueries[i%len(stressQueries)]
 					var xr XPathResponse
-					resp, err := client.Get(ts.URL + "/v1/xpath?q=" + url.QueryEscape(q))
+					resp, err := client.Get(base + "/xpath?q=" + url.QueryEscape(q))
 					if err != nil {
 						fail("reader %d: GET xpath: %v", r, err)
 						return
@@ -269,53 +290,75 @@ func TestStressReadersVsWriter(t *testing.T) {
 					err = json.NewDecoder(resp.Body).Decode(&xr)
 					resp.Body.Close()
 					if err != nil || code != http.StatusOK {
-						fail("reader %d: xpath %s: status %d err %v", r, q, code, err)
+						fail("reader %d: %s xpath %s: status %d err %v", r, tenant, q, code, err)
+						return
+					}
+					if xr.Tenant != tenant {
+						fail("reader %d: asked %s, xpath response stamped %q", r, tenant, xr.Tenant)
 						return
 					}
 					exp := oracle.at(xr.Version)
 					if exp == nil {
-						fail("reader %d: xpath response at unpublished version %d", r, xr.Version)
+						fail("reader %d: %s xpath response at unpublished version %d", r, tenant, xr.Version)
 						return
 					}
 					if !equalMatchJSON(xr.Matches, exp.matches[q]) {
-						fail("reader %d: xpath %s at version %d does not equal fresh evaluation (%d matches, want %d)",
-							r, q, xr.Version, len(xr.Matches), len(exp.matches[q]))
+						fail("reader %d: %s xpath %s at version %d does not equal fresh evaluation (%d matches, want %d)",
+							r, tenant, q, xr.Version, len(xr.Matches), len(exp.matches[q]))
 						return
 					}
 					version = xr.Version
 				}
-				if version < lastVersion {
-					fail("reader %d: version went backwards: %d after %d", r, version, lastVersion)
+				if version < lastVersion[tenant] {
+					fail("reader %d: %s version went backwards: %d after %d", r, tenant, version, lastVersion[tenant])
 					return
 				}
-				lastVersion = version
+				lastVersion[tenant] = version
 				readTotal[r]++
 			}
 		}(r)
 	}
 
-	// The writer: shadow-replay first (so the expectation exists before the
-	// epoch can be published), then send the same statement through the
-	// server, retrying 429 backpressure rejections.
-	for i := 0; i < statements; i++ {
-		src := stressVocabulary[i%len(stressVocabulary)]
-		wantVersion := oracle.step(t, src)
-		for {
-			resp, ur := postUpdate(t, ts.URL, src)
-			if resp.StatusCode == http.StatusTooManyRequests {
-				time.Sleep(time.Millisecond)
-				continue
+	// One writer per tenant: shadow-replay first (so the expectation exists
+	// before the epoch can be published), then send the same statement
+	// through the server, retrying 429 backpressure rejections. The two
+	// writers run concurrently — cross-tenant ordering is deliberately
+	// unsynchronized.
+	var writerWG sync.WaitGroup
+	for _, tenant := range tenants {
+		writerWG.Add(1)
+		go func(tenant string) {
+			defer writerWG.Done()
+			oracle := oracles[tenant]
+			base := ts.URL + "/v1/db/" + tenant
+			for i := 0; i < statements; i++ {
+				src := stressVocabulary[i%len(stressVocabulary)]
+				wantVersion := oracle.step(t, src)
+				for {
+					resp, ur := postUpdate(t, base, src)
+					if resp.StatusCode == http.StatusTooManyRequests {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						fail("%s statement %d %q: status %d", tenant, i, src, resp.StatusCode)
+						return
+					}
+					if ur.Tenant != tenant {
+						fail("%s statement %d: ack stamped tenant %q", tenant, i, ur.Tenant)
+						return
+					}
+					if ur.Version != wantVersion {
+						fail("%s statement %d %q: server version %d, shadow version %d — engines diverged",
+							tenant, i, src, ur.Version, wantVersion)
+						return
+					}
+					break
+				}
 			}
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("statement %d %q: status %d", i, src, resp.StatusCode)
-			}
-			if ur.Version != wantVersion {
-				t.Fatalf("statement %d %q: server version %d, shadow version %d — engines diverged",
-					i, src, ur.Version, wantVersion)
-			}
-			break
-		}
+		}(tenant)
 	}
+	writerWG.Wait()
 
 	close(stop)
 	wg.Wait()
@@ -330,21 +373,30 @@ func TestStressReadersVsWriter(t *testing.T) {
 		}
 	}
 
-	// Final state check: the last epoch equals the shadow's final state.
-	snap := s.Epoch()
-	if snap.Version != oracle.eng.Version() {
-		t.Fatalf("final epoch version %d != shadow version %d", snap.Version, oracle.eng.Version())
-	}
-	exp := oracle.at(snap.Version)
-	for _, vs := range snap.Views {
-		if !equalRowJSON(rowsToJSON(vs.Pattern, vs.Rows), exp.views[vs.Name]) {
-			t.Fatalf("final epoch view %s diverges from fresh recomputation", vs.Name)
+	// Final state check: each tenant's last epoch equals its own shadow's
+	// final state.
+	for _, tenant := range tenants {
+		sh, err := reg.Get(tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := sh.Epoch()
+		oracle := oracles[tenant]
+		if snap.Version != oracle.eng.Version() {
+			t.Fatalf("%s: final epoch version %d != shadow version %d", tenant, snap.Version, oracle.eng.Version())
+		}
+		exp := oracle.at(snap.Version)
+		for i := range snap.Views {
+			vs := &snap.Views[i]
+			if !equalRowJSON(rowsToJSON(vs.Pattern, vs.Rows), exp.views[vs.Name]) {
+				t.Fatalf("%s: final epoch view %s diverges from fresh recomputation", tenant, vs.Name)
+			}
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := s.Shutdown(ctx); err != nil {
+	if err := reg.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 }
