@@ -86,6 +86,7 @@ func run() error {
 	verifyRecovery := flag.Bool("verify-recovery", false, "open -data-dir, report what recovery did, verify every view against a fresh evaluation, and exit")
 	listenAddr := flag.String("listen", "", "serve the query/update HTTP API on this address (e.g. :8080) until interrupted")
 	queueDepth := flag.Int("queue-depth", 64, "-listen mode: bounded apply-queue depth (full queue rejects with 429)")
+	maxBatch := flag.Int("max-batch", 0, "-listen mode: cap on queued statements the writer translates into one propagation pass (0 = default 32, 1 = per-statement)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "-listen mode: per-request deadline for updates")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "-listen mode: graceful-drain budget on shutdown")
 	flag.Parse()
@@ -111,6 +112,7 @@ func run() error {
 		return runListen(ctx, listenConfig{
 			addr:           *listenAddr,
 			queueDepth:     *queueDepth,
+			maxBatch:       *maxBatch,
 			requestTimeout: *requestTimeout,
 			drainTimeout:   *drainTimeout,
 		}, durableConfig{

@@ -19,6 +19,7 @@ import (
 type listenConfig struct {
 	addr           string
 	queueDepth     int
+	maxBatch       int
 	requestTimeout time.Duration
 	drainTimeout   time.Duration
 }
@@ -63,6 +64,7 @@ func runListen(ctx context.Context, lc listenConfig, cfg durableConfig) error {
 	regCfg := server.RegistryConfig{
 		Shard: server.Config{
 			QueueDepth:     lc.queueDepth,
+			MaxBatch:       lc.maxBatch,
 			RequestTimeout: lc.requestTimeout,
 		},
 		DefaultDoc:   defaultDoc,

@@ -31,6 +31,7 @@ func main() {
 	small := flag.Int("small", bench.SmallBytes, "small-document size in bytes (the paper's 100KB class)")
 	metrics := flag.String("metrics", "", `dump the whole run's engine metrics when done: "json" for stdout, or a file path`)
 	jsonOut := flag.String("json", "", `run the hot-path micro suite and write its machine-readable report (BENCH_*.json input): "-" for stdout, or a file path`)
+	batchJSONOut := flag.String("batch-json", "", `run the shard burst suite (batched vs per-statement serving throughput at -size and 4x -size) and write its machine-readable report: "-" for stdout, or a file path`)
 	serveAddr := flag.String("serve", "", "serve /debug/pprof and /debug/vars on this address while benchmarks run (e.g. :6060)")
 	flag.Parse()
 
@@ -46,6 +47,26 @@ func main() {
 			out = f
 		}
 		if err := bench.WriteMicroJSON(out, *small); err != nil {
+			fmt.Fprintln(os.Stderr, "xivmbench:", err)
+			os.Exit(1)
+		}
+		if len(flag.Args()) == 0 && *batchJSONOut == "" {
+			return
+		}
+	}
+
+	if *batchJSONOut != "" {
+		out := os.Stdout
+		if *batchJSONOut != "-" {
+			f, err := os.Create(*batchJSONOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xivmbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteBatchJSON(out, []int{*size, *size * 4}); err != nil {
 			fmt.Fprintln(os.Stderr, "xivmbench:", err)
 			os.Exit(1)
 		}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	xivmload -addr http://localhost:8080 [-tenants 4] [-readers 8] [-writers 2] [-duration 10s]
-//	xivmload -selfserve [-tenants 8] [-scale 1] …
+//	xivmload -selfserve [-tenants 8] [-scale 1] [-burst 32] [-max-batch 32] …
 //
 // With -tenants N the tool creates databases t0…tN-1 through the admin
 // plane (existing ones are reused) and spreads readers and writers across
@@ -25,6 +25,15 @@
 // The exit status is non-zero if any hard error occurred (connection
 // failures, 5xx, malformed responses, a failed -verify probe), so a
 // smoke run doubles as a check.
+//
+// -burst N switches writers to bursty submission: each database gets one
+// burst writer that first grows N distinct insertion parents and then fires
+// N concurrent single-insert updates per wave, waiting for every ack before
+// the next wave. The statements in a wave target distinct nodes, so the
+// serving shard's planner translates a drained wave into one combined delta
+// — the mode EXPERIMENTS.md uses to demonstrate amortized batch
+// propagation. -max-batch (with -selfserve) sets the shard's batch cap; 1
+// disables batching for a like-for-like per-statement baseline.
 package main
 
 import (
@@ -123,6 +132,8 @@ func run() error {
 	readers := flag.Int("readers", 8, "concurrent reader goroutines")
 	writers := flag.Int("writers", 2, "concurrent writer goroutines")
 	duration := flag.Duration("duration", 5*time.Second, "load duration")
+	burst := flag.Int("burst", 0, "bursty writers: one writer per database fires N concurrent distinct-target inserts per wave and waits for every ack (0: steady -writers mix)")
+	maxBatch := flag.Int("max-batch", 0, "-selfserve: shard batch cap (0: server default 32; 1: disable batching)")
 	verify := flag.Bool("verify", false, "after load, probe each database for read-your-writes and cross-tenant isolation")
 	flag.Var(&stmts, "stmt", "update statement for writers (repeatable; default: built-in XMark mix)")
 	flag.Var(&queries, "xpath", "XPath query for readers (repeatable; default: built-in XMark queries)")
@@ -152,6 +163,7 @@ func run() error {
 			defaultViews = append(defaultViews, server.ViewSpec{Name: name, Pattern: xmark.View(name).String()})
 		}
 		reg, err := server.NewRegistry(server.RegistryConfig{
+			Shard:        server.Config{MaxBatch: *maxBatch},
 			DefaultDoc:   xmark.GenerateSmall(*scale),
 			DefaultViews: defaultViews,
 			WAL:          wal.Options{},
@@ -201,6 +213,18 @@ func run() error {
 	fmt.Printf("targeting %s: %d databases (%s), %d readers, %d writers, %v\n",
 		base, len(targets), strings.Join(dbNames, " "), *readers, *writers, *duration)
 
+	if *burst > 0 {
+		// Grow the distinct insertion parents each burst wave targets, so a
+		// wave never trips the planner's same-target conflict rule.
+		for _, t := range targets {
+			for j := 0; j < *burst; j++ {
+				if _, err := rc.DB(t.name).Update(ctx, fmt.Sprintf(`insert <bp%d/> into /site/people`, j)); err != nil {
+					return fmt.Errorf("burst setup %s: %w", t.name, err)
+				}
+			}
+		}
+	}
+
 	var readStats, xpathStats, writeStats opStats
 	runCtx, cancel := context.WithTimeout(ctx, *duration)
 	defer cancel()
@@ -220,14 +244,38 @@ func run() error {
 			}
 		}(r)
 	}
-	for w := 0; w < *writers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; runCtx.Err() == nil; i++ {
-				writeUpdate(runCtx, targets[i%len(targets)], stmts[i%len(stmts)], &writeStats)
-			}
-		}(w)
+	switch {
+	case *burst > 0:
+		// One burst writer per database: N concurrent distinct-target
+		// inserts per wave, every ack collected before the next wave, so
+		// the shard's queue holds a whole translatable batch at once.
+		for _, t := range targets {
+			wg.Add(1)
+			go func(t target) {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					var bw sync.WaitGroup
+					for j := 0; j < *burst; j++ {
+						bw.Add(1)
+						go func(j int) {
+							defer bw.Done()
+							writeUpdate(runCtx, t, fmt.Sprintf(`insert <c/> into /site/people/bp%d`, j), &writeStats)
+						}(j)
+					}
+					bw.Wait()
+				}
+			}(t)
+		}
+	default:
+		for w := 0; w < *writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; runCtx.Err() == nil; i++ {
+					writeUpdate(runCtx, targets[i%len(targets)], stmts[i%len(stmts)], &writeStats)
+				}
+			}(w)
+		}
 	}
 	start := time.Now()
 	wg.Wait()

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"xivm/internal/core"
+	"xivm/internal/obs"
+	"xivm/internal/server"
+	"xivm/internal/update"
+)
+
+// This file measures the serving layer's amortized batch propagation: the
+// same bursty statement stream pumped through one shard with batching on
+// (default MaxBatch) and off (MaxBatch 1). The serial path pays one
+// propagation pass and one published epoch per statement; the batched path
+// pays them once per drained burst, so the gap is dominated by the
+// per-epoch snapshot deep copy and widens with document size. BENCH_5.json
+// is two runs of this suite at growing XMark document sizes.
+
+// BurstWidth is how many statements each burst submits back-to-back — the
+// shard's default MaxBatch, so a fully drained burst becomes one batch.
+const BurstWidth = 32
+
+// newBurstShard builds a shard over a fresh engine (view Q1 installed) whose
+// document has been pre-grown with BurstWidth distinct insertion parents
+// under /site/people, and returns the cycle of batchable statement sources:
+// one insert per parent, so a burst never trips the planner's same-target
+// (IO) conflict rule and every burst is translatable.
+func newBurstShard(docBytes, maxBatch int) (*server.Shard, []string) {
+	e, _ := engineWith(Doc(docBytes), "Q1", core.Options{})
+	srcs := make([]string, BurstWidth)
+	for j := 0; j < BurstWidth; j++ {
+		grow, err := update.Parse(fmt.Sprintf(`insert <bp%d/> into /site/people`, j))
+		if err != nil {
+			panic(err)
+		}
+		if _, err := e.ApplyStatement(grow); err != nil {
+			panic(err)
+		}
+		srcs[j] = fmt.Sprintf(`insert <c/> into /site/people/bp%d`, j)
+	}
+	s := server.NewShard("bench", server.EngineBackend{Eng: e}, nil, server.Config{
+		MaxBatch:   maxBatch,
+		QueueDepth: 2 * BurstWidth,
+		Metrics:    obs.New(),
+	})
+	return s, srcs
+}
+
+func closeShard(s *server.Shard) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = s.Close(ctx)
+}
+
+// submitBurst enqueues n statements back-to-back (FIFO) and collects every
+// ack, returning the first error.
+func submitBurst(s *server.Shard, srcs []string, n int) error {
+	ctx := context.Background()
+	waits := make([]func() (*core.Report, uint64, error), n)
+	for i := 0; i < n; i++ {
+		// Re-parse per submission: statements are single-use once applied
+		// (their forests are spliced into the document).
+		st, err := update.Parse(srcs[i%len(srcs)])
+		if err != nil {
+			return err
+		}
+		wait, err := s.ApplyAsync(ctx, st)
+		if err != nil {
+			return err
+		}
+		waits[i] = wait
+	}
+	for _, wait := range waits {
+		if _, _, err := wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBurst pumps b.N statements through the shard in bursts of BurstWidth —
+// enqueue the whole burst FIFO, then collect every ack. One op is one
+// statement acknowledged at a published epoch.
+func runBurst(b *testing.B, s *server.Shard, srcs []string) {
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		n := BurstWidth
+		if sent+n > b.N {
+			n = b.N - sent
+		}
+		if err := submitBurst(s, srcs, n); err != nil {
+			b.Fatal(err)
+		}
+		sent += n
+	}
+}
+
+// BatchBurst measures bursty statement throughput through one shard.
+// maxBatch 0 selects the default (batching on); 1 disables batching.
+func BatchBurst(b *testing.B, docBytes, maxBatch int) {
+	b.StopTimer()
+	s, srcs := newBurstShard(docBytes, maxBatch)
+	defer closeShard(s)
+	b.StartTimer()
+	runBurst(b, s, srcs)
+}
+
+// BatchBursts is how many full bursts each RunBatch measurement pumps.
+// Fixed rather than time-targeted: a measurement must always contain whole
+// bursts, or the serial/batched comparison degenerates to single statements
+// (which never batch) at exactly the document sizes where the gap matters.
+var BatchBursts = 4
+
+// RunBatch runs the batched/serial pair at each document size and shapes the
+// measurements like the micro suite (suite "batch"; doc_bytes is the largest
+// size, each result's name carries its own size). Timing is manual — always
+// BatchBursts whole bursts, one warmup burst excluded — with allocation
+// figures from runtime.MemStats deltas.
+func RunBatch(docSizes []int) MicroReport {
+	rep := MicroReport{Suite: "batch"}
+	for _, size := range docSizes {
+		if size > rep.DocBytes {
+			rep.DocBytes = size
+		}
+		for _, mode := range []struct {
+			name     string
+			maxBatch int
+		}{{"Batched", 0}, {"Serial", 1}} {
+			s, srcs := newBurstShard(size, mode.maxBatch)
+			if err := submitBurst(s, srcs, BurstWidth); err != nil { // warmup
+				panic(err)
+			}
+			total := BatchBursts * BurstWidth
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			for k := 0; k < BatchBursts; k++ {
+				if err := submitBurst(s, srcs, BurstWidth); err != nil {
+					panic(err)
+				}
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			closeShard(s)
+			rep.Results = append(rep.Results, MicroResult{
+				Name:        fmt.Sprintf("ShardBurst_%dMB_%s", size>>20, mode.name),
+				Iterations:  total,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(total),
+				BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(total),
+				AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(total),
+			})
+		}
+	}
+	return rep
+}
+
+// WriteBatchJSON runs the batch suite and writes the report as indented
+// JSON (the BENCH_5.json input).
+func WriteBatchJSON(w io.Writer, docSizes []int) error {
+	rep := RunBatch(docSizes)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

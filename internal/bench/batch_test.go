@@ -1,0 +1,18 @@
+package bench
+
+import "testing"
+
+// Benchmark wrappers over the shard burst suite so `go test -bench
+// ShardBurst` measures exactly what `xivmbench -batch-json` reports. CI runs
+// them with -benchtime=1x as a bit-rot smoke; BENCH_5.json comes from the
+// paper-scale runs described in EXPERIMENTS.md.
+
+func BenchmarkShardBurstBatched(b *testing.B) {
+	b.ReportAllocs()
+	BatchBurst(b, SmallBytes, 0)
+}
+
+func BenchmarkShardBurstSerial(b *testing.B) {
+	b.ReportAllocs()
+	BatchBurst(b, SmallBytes, 1)
+}

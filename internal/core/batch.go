@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+
+	"xivm/internal/update"
+)
+
+// BatchPUL is one unit of a translated statement batch: a combined
+// node-level pending update list, applied and propagated in a single pass,
+// standing in for Statements consecutive source statements. Batches are
+// produced by internal/pulopt's planner, which guarantees that applying the
+// units in order is equivalent to applying the source statements one at a
+// time.
+type BatchPUL struct {
+	PUL *update.PUL
+	// Statements is how many source statements this unit stands for. The
+	// engine version advances by exactly this much when the unit lands, so
+	// a batch ends on the same version sequential application would have
+	// reached — WAL replay (always per-statement) and shadow-oracle
+	// version accounting stay aligned.
+	Statements int
+}
+
+// ApplyBatchCtx applies a translated batch: each unit's PUL is applied to
+// the document and propagated to every view exactly once, and the engine
+// version advances by the unit's statement count. The merged report covers
+// the whole batch (Statement is nil; Targets and per-view row counts are
+// summed).
+//
+// It returns the number of source statements whose effects landed — the
+// version delta — which is len-of-batch on success and the completed-unit
+// sum on error. ctx is honored between units only: a unit that has begun
+// mutating the document completes under the same repair contract as
+// ApplyPULCtx, and on cancellation the applied prefix stays applied (the
+// caller owns publication, so intermediate states are never observable).
+//
+// A unit failing mid-batch leaves the engine exactly as the completed
+// prefix left it; the planner's gating makes that path unreachable for
+// well-formed batches (every target pre-resolved, attached, and element-
+// kinded), so callers treat it like a writer-loop panic: repair, report
+// the error, and publish whatever state exists.
+func (e *Engine) ApplyBatchCtx(ctx context.Context, units []BatchPUL) (*Report, int, error) {
+	rep := &Report{}
+	applied := 0
+	for _, u := range units {
+		if err := ctx.Err(); err != nil {
+			return rep, applied, err
+		}
+		urep, err := e.applyPUL(ctx, u.PUL, nil)
+		if err != nil {
+			return rep, applied, err
+		}
+		// applyPUL bumped once; account for the rest of the unit's
+		// statements so the batch lands on the sequential version.
+		if u.Statements > 1 {
+			e.version.Add(uint64(u.Statements - 1))
+		}
+		applied += u.Statements
+		MergeBatchReport(rep, urep)
+	}
+	return rep, applied, nil
+}
+
+// MergeBatchReport folds one unit's (or one statement's) report into a
+// batch report, mirroring the delete+insert merge ApplyStatementCtx
+// performs for Replace. Callers applying parts of a batch through
+// different entry points (the WAL's partial-journal repair path) share it.
+func MergeBatchReport(dst, src *Report) {
+	dst.Targets += src.Targets
+	dst.FindTargets += src.FindTargets
+	if dst.Views == nil {
+		dst.Views = append(dst.Views, src.Views...)
+		return
+	}
+	for i := range src.Views {
+		if i >= len(dst.Views) {
+			dst.Views = append(dst.Views, src.Views[i])
+			continue
+		}
+		vr := &dst.Views[i]
+		svr := &src.Views[i]
+		vr.Phases = vr.Phases.Add(svr.Phases)
+		vr.RowsAdded += svr.RowsAdded
+		vr.RowsRemoved += svr.RowsRemoved
+		vr.RowsModified += svr.RowsModified
+		vr.TermsTotal += svr.TermsTotal
+		vr.TermsSurvived += svr.TermsSurvived
+		vr.PredFallback = vr.PredFallback || svr.PredFallback
+		vr.Cancelled = vr.Cancelled || svr.Cancelled
+		vr.Panicked = vr.Panicked || svr.Panicked
+		vr.Skipped = vr.Skipped && svr.Skipped
+	}
+}

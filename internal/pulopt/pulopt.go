@@ -115,7 +115,13 @@ func Reduce(ops Seq) Seq {
 			}
 		}
 	}
-	// I5: merge insertions on the same target into the earliest survivor.
+	// I5: merge insertions on the same target into the earliest surviving
+	// insertion they can safely commute back to. Merging ins↘(n,L2) into an
+	// earlier ins↘(n,L1) moves L2's effect before every operation between the
+	// two, so the merge is only taken when all of those intervening survivors
+	// commute with an insertion on n (they touch neither n nor its subtree).
+	// When an intervening operation blocks the merge, the later insertion
+	// becomes the new merge anchor for n.
 	firstIns := map[string]int{} // target key -> index in out
 	var out Seq
 	for i, op := range ops {
@@ -124,7 +130,7 @@ func Reduce(ops Seq) Seq {
 		}
 		if op.Kind == InsLast {
 			k := op.Target.Key()
-			if at, ok := firstIns[k]; ok {
+			if at, ok := firstIns[k]; ok && commutesWithInsertAll(out[at+1:], op.Target) {
 				rules.i5.Inc()
 				merged := out[at]
 				merged.Forest = append(append([]*xmltree.Node{}, merged.Forest...), op.Forest...)
@@ -136,6 +142,30 @@ func Reduce(ops Seq) Seq {
 		out = append(out, op)
 	}
 	return out
+}
+
+// commutesWithInsert reports whether operation a can be reordered past an
+// insertion on node n without changing the final document. An operation on
+// n itself or inside n's subtree can change which node is n's last child —
+// or resolve a node the insertion creates — so the insertion's effect
+// depends on their relative order; a deletion of an ancestor of n removes n
+// itself, turning a later insertion on n into a no-op. Operations elsewhere
+// (including insertions into ancestors of n, which append children beside
+// n, never inside it) are independent of the insertion.
+func commutesWithInsert(a Op, n dewey.ID) bool {
+	if a.Target.Equal(n) || n.IsAncestorOf(a.Target) {
+		return false
+	}
+	return a.Kind != Del || !a.Target.IsAncestorOf(n)
+}
+
+func commutesWithInsertAll(ops Seq, n dewey.ID) bool {
+	for _, a := range ops {
+		if !commutesWithInsert(a, n) {
+			return false
+		}
+	}
+	return true
 }
 
 // Conflict reports one rule violation found while integrating two PULs to
@@ -199,6 +229,11 @@ func Integrate(d1, d2 Seq) (Seq, []Conflict) {
 // below the insertion point (position among equal-labeled siblings follows
 // ordinal rank), a faithful approximation of the original ID-based
 // addressing.
+// Both merges relocate the ∆2 operation before everything that would
+// otherwise run between the merge point and the end of the combined
+// sequence, so they are only taken when every one of those intervening
+// operations commutes with an insertion on the ∆2 target; otherwise the
+// operation stays in place and the sequences simply concatenate.
 func Aggregate(d1, d2 Seq) Seq {
 	out := append(Seq{}, d1...)
 	var rest Seq
@@ -208,6 +243,9 @@ func Aggregate(d1, d2 Seq) Seq {
 			mergedIn := false
 			for i, op1 := range out {
 				if op1.Kind == InsLast && op1.Target.Equal(op2.Target) {
+					if !commutesWithInsertAll(out[i+1:], op2.Target) || !commutesWithInsertAll(rest, op2.Target) {
+						break
+					}
 					rules.a1a2.Inc()
 					op1.Forest = append(append([]*xmltree.Node{}, op1.Forest...), op2.Forest...)
 					out[i] = op1
@@ -219,7 +257,7 @@ func Aggregate(d1, d2 Seq) Seq {
 				continue
 			}
 			// D6: target inside a tree inserted by ∆1.
-			if spliced := spliceIntoInserted(out, op2); spliced {
+			if spliced := spliceIntoInserted(out, rest, op2); spliced {
 				rules.d6.Inc()
 				continue
 			}
@@ -231,26 +269,60 @@ func Aggregate(d1, d2 Seq) Seq {
 
 // spliceIntoInserted finds a ∆1 insertion whose target is a proper ancestor
 // of op2's target, resolves the residual label path inside its forest, and
-// appends op2's forest there. It reports whether the splice happened.
-func spliceIntoInserted(d1 Seq, op2 Op) bool {
+// appends op2's forest there. The splice is only taken when every operation
+// that would otherwise run between the host insertion and op2 (the rest of
+// d1 plus the already-deferred tail) commutes with an insertion on op2's
+// target. The host forest is copy-on-write: the caller's original trees are
+// never mutated — the op is rewritten to point at a spliced clone. It
+// reports whether the splice happened.
+func spliceIntoInserted(d1, tail Seq, op2 Op) bool {
 	for i, op1 := range d1 {
 		if op1.Kind != InsLast || !op1.Target.IsAncestorOf(op2.Target) {
 			continue
 		}
-		rel := relativeLabels(op1.Target, op2.Target)
-		node := resolveInForest(op1.Forest, rel)
-		if node == nil {
+		// Only a SYMBOLIC residual path — steps carrying no ordinal, the
+		// paper's addressing for nodes the ∆1 parameter tree has not yet
+		// materialized — can denote a node inside the inserted forest. Steps
+		// with concrete ordinals identify nodes of the stored document (a
+		// pre-existing descendant of the insertion point); those operations
+		// must stay in place and resolve against the store after ∆1 runs.
+		if !symbolicBelow(op1.Target, op2.Target) {
 			continue
 		}
+		if !commutesWithInsertAll(d1[i+1:], op2.Target) || !commutesWithInsertAll(tail, op2.Target) {
+			return false
+		}
+		rel := relativeLabels(op1.Target, op2.Target)
+		if resolveInForest(op1.Forest, rel) == nil {
+			continue
+		}
+		forest := make([]*xmltree.Node, len(op1.Forest))
+		for j, t := range op1.Forest {
+			forest[j] = t.Clone()
+		}
+		node := resolveInForest(forest, rel)
 		for _, t := range op2.Forest {
 			cp := t.Clone()
 			cp.Parent = node
 			node.Children = append(node.Children, cp)
 		}
+		op1.Forest = forest
 		d1[i] = op1
 		return true
 	}
 	return false
+}
+
+// symbolicBelow reports whether every step of desc below anc carries no
+// ordinal — i.e. desc addresses a node by label path only, which can only
+// be satisfied inside a not-yet-materialized parameter tree.
+func symbolicBelow(anc, desc dewey.ID) bool {
+	for lvl := anc.Level(); lvl < desc.Level(); lvl++ {
+		if len(desc.Step(lvl).Ord) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func relativeLabels(anc, desc dewey.ID) []string {

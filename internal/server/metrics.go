@@ -9,7 +9,14 @@ import "xivm/internal/obs"
 //	server.apply.count        statements applied successfully
 //	server.apply.errors       statements that failed in the engine
 //	server.apply.abandoned    queued statements whose client gave up first
+//	server.abandoned_applied  statements applied and published whose client
+//	                          had already abandoned the wait (the at-most-
+//	                          once-observable corner of Shard.Apply)
 //	server.apply.panics       panics recovered in the writer loop
+//	server.batch.count        translated batches propagated as one delta
+//	server.batch.statements   statements that rode a translated batch
+//	server.batch.fallbacks    drained batches the planner rejected (also
+//	                          keyed server.batch.fallback.<reason>)
 //	server.reject.queue_full  updates rejected with ErrQueueFull (429)
 //	server.reject.shutdown    updates rejected with ErrShuttingDown (503)
 //	server.sync.errors        backend Sync failures during drain
@@ -17,7 +24,8 @@ import "xivm/internal/obs"
 //	snapshot.rows             cumulative view rows copied into epochs
 //	snapshot.doc.nodes        cumulative document nodes copied into epochs
 //
-// Histograms: server.apply.latency (engine apply time per statement),
+// Histograms: server.apply.latency (engine apply time per statement or
+// batch), server.batch.latency (engine apply time per translated batch),
 // snapshot.publish (capture+swap time per epoch), server.query.latency and
 // server.xpath.latency (read-path handler time).
 //
@@ -27,20 +35,25 @@ import "xivm/internal/obs"
 type serverMetrics struct {
 	reg *obs.Metrics
 
-	httpRequests     *obs.Counter
-	enqueued         *obs.Counter
-	applied          *obs.Counter
-	applyErrors      *obs.Counter
-	abandoned        *obs.Counter
-	applyPanics      *obs.Counter
-	rejectedFull     *obs.Counter
-	rejectedShutdown *obs.Counter
-	syncErrors       *obs.Counter
-	epochs           *obs.Counter
-	epochRows        *obs.Counter
-	epochDocNodes    *obs.Counter
+	httpRequests      *obs.Counter
+	enqueued          *obs.Counter
+	applied           *obs.Counter
+	applyErrors       *obs.Counter
+	abandoned         *obs.Counter
+	abandonedApplied  *obs.Counter
+	applyPanics       *obs.Counter
+	batches           *obs.Counter
+	batchedStatements *obs.Counter
+	batchFallbacks    *obs.Counter
+	rejectedFull      *obs.Counter
+	rejectedShutdown  *obs.Counter
+	syncErrors        *obs.Counter
+	epochs            *obs.Counter
+	epochRows         *obs.Counter
+	epochDocNodes     *obs.Counter
 
 	applyLatency   *obs.Histogram
+	batchLatency   *obs.Histogram
 	publishLatency *obs.Histogram
 	queryLatency   *obs.Histogram
 	xpathLatency   *obs.Histogram
@@ -51,23 +64,28 @@ func newServerMetrics(reg *obs.Metrics) *serverMetrics {
 		reg = obs.Default()
 	}
 	return &serverMetrics{
-		reg:              reg,
-		httpRequests:     reg.Counter("server.http.requests"),
-		enqueued:         reg.Counter("server.apply.enqueued"),
-		applied:          reg.Counter("server.apply.count"),
-		applyErrors:      reg.Counter("server.apply.errors"),
-		abandoned:        reg.Counter("server.apply.abandoned"),
-		applyPanics:      reg.Counter("server.apply.panics"),
-		rejectedFull:     reg.Counter("server.reject.queue_full"),
-		rejectedShutdown: reg.Counter("server.reject.shutdown"),
-		syncErrors:       reg.Counter("server.sync.errors"),
-		epochs:           reg.Counter("snapshot.epochs"),
-		epochRows:        reg.Counter("snapshot.rows"),
-		epochDocNodes:    reg.Counter("snapshot.doc.nodes"),
-		applyLatency:     reg.Histogram("server.apply.latency"),
-		publishLatency:   reg.Histogram("snapshot.publish"),
-		queryLatency:     reg.Histogram("server.query.latency"),
-		xpathLatency:     reg.Histogram("server.xpath.latency"),
+		reg:               reg,
+		httpRequests:      reg.Counter("server.http.requests"),
+		enqueued:          reg.Counter("server.apply.enqueued"),
+		applied:           reg.Counter("server.apply.count"),
+		applyErrors:       reg.Counter("server.apply.errors"),
+		abandoned:         reg.Counter("server.apply.abandoned"),
+		abandonedApplied:  reg.Counter("server.abandoned_applied"),
+		applyPanics:       reg.Counter("server.apply.panics"),
+		batches:           reg.Counter("server.batch.count"),
+		batchedStatements: reg.Counter("server.batch.statements"),
+		batchFallbacks:    reg.Counter("server.batch.fallbacks"),
+		rejectedFull:      reg.Counter("server.reject.queue_full"),
+		rejectedShutdown:  reg.Counter("server.reject.shutdown"),
+		syncErrors:        reg.Counter("server.sync.errors"),
+		epochs:            reg.Counter("snapshot.epochs"),
+		epochRows:         reg.Counter("snapshot.rows"),
+		epochDocNodes:     reg.Counter("snapshot.doc.nodes"),
+		applyLatency:      reg.Histogram("server.apply.latency"),
+		batchLatency:      reg.Histogram("server.batch.latency"),
+		publishLatency:    reg.Histogram("snapshot.publish"),
+		queryLatency:      reg.Histogram("server.query.latency"),
+		xpathLatency:      reg.Histogram("server.xpath.latency"),
 	}
 }
 

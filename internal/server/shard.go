@@ -15,6 +15,20 @@
 //     isolation boundary: a hot tenant saturates only its own queue and
 //     writer, never another tenant's.
 //
+//   - Under write bursts the writer drains the queue adaptively: when more
+//     than one request is waiting, the batch of statements is translated to
+//     one combined delta through the pulopt planner (Section 5's
+//     aggregation/reduction with the IO/LO/NLO conflict rules as the safety
+//     gate) and propagated through the engine once per same-kind run,
+//     amortizing FindTargets, propagation, and — the dominant cost — the
+//     per-epoch snapshot over the whole batch. Any gate rejection, conflict,
+//     or already-cancelled request falls the batch back to per-statement
+//     application, so batching is never worse than the sequential path and
+//     never observable: every constituent statement is journaled before the
+//     engine mutates, the engine version advances by exactly the batch's
+//     statement count, and acks carry the single epoch published for the
+//     batch (read-your-writes holds unchanged).
+//
 //   - After every applied statement the writer publishes a fresh epoch: an
 //     immutable core.Snapshot (deep-copied view rows plus an ID-preserving
 //     document copy, stamped with the tenant name) swapped in with one
@@ -43,6 +57,7 @@ import (
 
 	"xivm/internal/core"
 	"xivm/internal/obs"
+	"xivm/internal/pulopt"
 	"xivm/internal/update"
 )
 
@@ -64,6 +79,11 @@ type Backend interface {
 	Engine() *core.Engine
 	// ApplyCtx journals (when durable) and applies one statement.
 	ApplyCtx(ctx context.Context, st *update.Statement) (*core.Report, error)
+	// ApplyBatchCtx journals every constituent statement (when durable)
+	// and applies a translated batch, one propagation pass per unit. It
+	// returns the merged report and how many statements' effects landed —
+	// len(plan.Statements) unless journaling or a unit failed partway.
+	ApplyBatchCtx(ctx context.Context, plan *pulopt.BatchPlan) (*core.Report, int, error)
 	// Sync forces buffered durability state (the WAL group-commit window)
 	// to disk; a no-op for non-durable backends.
 	Sync() error
@@ -78,6 +98,12 @@ func (b EngineBackend) Engine() *core.Engine { return b.Eng }
 // ApplyCtx applies one statement through the engine.
 func (b EngineBackend) ApplyCtx(ctx context.Context, st *update.Statement) (*core.Report, error) {
 	return b.Eng.ApplyStatementCtx(ctx, st)
+}
+
+// ApplyBatchCtx applies a translated batch through the engine; with no
+// journal there is nothing to write ahead.
+func (b EngineBackend) ApplyBatchCtx(ctx context.Context, plan *pulopt.BatchPlan) (*core.Report, int, error) {
+	return b.Eng.ApplyBatchCtx(ctx, plan.Units)
 }
 
 // Sync is a no-op: a bare engine has no durability buffer.
@@ -95,6 +121,11 @@ type Config struct {
 	// writer then observes the cancelled context and skips it before
 	// mutating anything.
 	RequestTimeout time.Duration
+	// MaxBatch caps how many waiting statements the writer drains into one
+	// translated batch (0 = default 32; 1 disables batching and restores
+	// strict per-statement application). Batching only engages when more
+	// than one request is already queued, so an idle tenant pays nothing.
+	MaxBatch int
 	// Metrics selects the registry for the server.* and snapshot.*
 	// instruments (nil = obs.Default()).
 	Metrics *obs.Metrics
@@ -105,6 +136,13 @@ func (c Config) queueDepth() int {
 		return 64
 	}
 	return c.QueueDepth
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 32
+	}
+	return c.MaxBatch
 }
 
 func (c Config) requestTimeout() time.Duration {
@@ -196,16 +234,41 @@ func (s *Shard) QueueCap() int { return cap(s.queue) }
 // Apply submits one statement to the writer loop and waits for it to be
 // applied and its epoch published, honoring ctx. It returns the engine
 // report and the epoch version at which the update's effects are visible
-// to readers. ErrQueueFull and ErrShuttingDown reject without queuing; a
-// ctx expiring while the request is queued abandons it (the writer skips
-// abandoned requests before mutating anything).
+// to readers (under batching, the report covers the whole batch the
+// statement rode in). ErrQueueFull and ErrShuttingDown reject without
+// queuing.
+//
+// Apply is at-most-once observable, not at-most-once: a ctx expiring while
+// the request is queued abandons the WAIT, not necessarily the statement.
+// If the writer reaches the request before starting to apply it, the
+// statement is skipped with no effect; if the writer had already begun (or
+// drained it into a batch), the statement is still applied, journaled, and
+// published — the client just never sees the ack. Callers that time out
+// must therefore treat the statement's fate as unknown; the
+// server.abandoned_applied counter reports how often the applied-but-
+// unacknowledged case actually happens.
 func (s *Shard) Apply(ctx context.Context, st *update.Statement) (*core.Report, uint64, error) {
+	wait, err := s.ApplyAsync(ctx, st)
+	if err != nil {
+		return nil, 0, err
+	}
+	return wait()
+}
+
+// ApplyAsync enqueues one statement and returns immediately with a wait
+// function, under the same contract as Apply (which is ApplyAsync + wait).
+// Split submission lets one goroutine enqueue several statements
+// back-to-back — guaranteeing their FIFO order in the writer's queue, which
+// a goroutine-per-Apply submission cannot — and collect the acks
+// afterwards; the bursty stress tests use it to force deterministic
+// multi-statement batches.
+func (s *Shard) ApplyAsync(ctx context.Context, st *update.Statement) (func() (*core.Report, uint64, error), error) {
 	req := &applyReq{ctx: ctx, st: st, resp: make(chan applyResult, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		s.m.rejectedShutdown.Inc()
-		return nil, 0, ErrShuttingDown
+		return nil, ErrShuttingDown
 	}
 	select {
 	case s.queue <- req:
@@ -215,17 +278,20 @@ func (s *Shard) Apply(ctx context.Context, st *update.Statement) (*core.Report, 
 		s.mu.RUnlock()
 		s.m.rejectedFull.Inc()
 		s.tm.rejected.Inc()
-		return nil, 0, ErrQueueFull
+		return nil, ErrQueueFull
 	}
-	select {
-	case res := <-req.resp:
-		return res.rep, res.version, res.err
-	case <-ctx.Done():
-		// The writer will observe the cancelled context; if it had already
-		// started applying, the engine's cancellation contract keeps every
-		// view consistent and the writer still publishes any new state.
-		return nil, 0, ctx.Err()
-	}
+	return func() (*core.Report, uint64, error) {
+		select {
+		case res := <-req.resp:
+			return res.rep, res.version, res.err
+		case <-ctx.Done():
+			// The writer will observe the cancelled context; if it had
+			// already started applying, the engine's cancellation contract
+			// keeps every view consistent and the writer still publishes
+			// any new state (see Apply's at-most-once-observable note).
+			return nil, 0, ctx.Err()
+		}
+	}, nil
 }
 
 // Shutdown stops accepting updates, waits for the writer to drain every
@@ -268,18 +334,52 @@ func (s *Shard) draining() bool {
 	return s.closed
 }
 
-// applyLoop is the single writer: it drains the queue in FIFO order, and
-// after the queue closes it syncs the backend so acknowledged updates are
-// durable before done is signalled.
+// applyLoop is the single writer: it drains the queue in FIFO order —
+// adaptively batching when more than one request is waiting — and after the
+// queue closes it syncs the backend so acknowledged updates are durable
+// before done is signalled.
 func (s *Shard) applyLoop() {
-	defer close(s.done)
 	for req := range s.queue {
-		res := s.applyOne(req)
-		req.resp <- res
+		batch := s.drainBatch(req)
+		if len(batch) == 1 {
+			s.respond(batch[0], s.applyOne(batch[0]))
+		} else {
+			s.applyBatch(batch)
+		}
 	}
 	if err := s.backend.Sync(); err != nil {
 		s.m.syncErrors.Inc()
 	}
+	close(s.done)
+}
+
+// drainBatch greedily collects whatever is already waiting behind first, up
+// to the batch cap, without ever blocking: an idle tenant always takes the
+// per-statement path.
+func (s *Shard) drainBatch(first *applyReq) []*applyReq {
+	batch := []*applyReq{first}
+	for len(batch) < s.cfg.maxBatch() {
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				return batch // queue closed: finish what was accepted
+			}
+			batch = append(batch, req)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// respond delivers one result, counting the applied-but-unacknowledged case
+// (the client's ctx expired after the writer committed to the statement —
+// its effects are published but nobody is reading the ack).
+func (s *Shard) respond(req *applyReq, res applyResult) {
+	if res.err == nil && req.ctx.Err() != nil {
+		s.m.abandonedApplied.Inc()
+	}
+	req.resp <- res
 }
 
 // applyOne applies one request and publishes the resulting epoch. Any new
@@ -307,6 +407,82 @@ func (s *Shard) applyOne(req *applyReq) applyResult {
 	return applyResult{rep: rep, version: s.Epoch().Version}
 }
 
+// applyBatch translates a drained batch to one combined delta and applies
+// it with one propagation pass per same-kind run and ONE published epoch,
+// falling back to per-statement application whenever the translation cannot
+// prove sequential equivalence (conflicts, gated statement shapes) or any
+// request was already abandoned — behavior is then exactly the
+// pre-batching loop. Every request in a translated batch is answered with
+// the batch's published epoch version, preserving read-your-writes.
+func (s *Shard) applyBatch(batch []*applyReq) {
+	for _, req := range batch {
+		if req.ctx.Err() != nil {
+			// Per-request cancellation degrades the whole batch to the
+			// per-statement path, which skips abandoned requests before
+			// mutating anything.
+			s.fallback(batch, "cancelled")
+			return
+		}
+	}
+	stmts := make([]*update.Statement, len(batch))
+	for i, req := range batch {
+		stmts[i] = req.st
+	}
+	plan, err := pulopt.PlanBatch(s.eng, stmts)
+	if err != nil {
+		reason := "plan"
+		var nb *pulopt.NotBatchableError
+		if errors.As(err, &nb) {
+			reason = nb.Reason
+		}
+		s.fallback(batch, reason)
+		return
+	}
+	t0 := time.Now()
+	rep, applied, err := s.safeApplyBatch(plan)
+	d := time.Since(t0)
+	s.m.applyLatency.Observe(d)
+	s.m.batchLatency.Observe(d)
+	if s.eng.Version() != s.Epoch().Version {
+		s.publish()
+	}
+	version := s.Epoch().Version
+	if err != nil {
+		// A batch failing mid-flight (journal error, engine fault) leaves
+		// the applied prefix in place — exactly what a durable log would
+		// replay. Acks follow the boundary: landed statements succeed at
+		// the published version, the rest report the error.
+		for i, req := range batch {
+			if i < applied {
+				s.m.applied.Inc()
+				s.tm.applied.Inc()
+				s.respond(req, applyResult{rep: rep, version: version})
+			} else {
+				s.m.applyErrors.Inc()
+				s.respond(req, applyResult{version: version, err: err})
+			}
+		}
+		return
+	}
+	s.m.batches.Inc()
+	s.m.batchedStatements.Add(int64(len(batch)))
+	for _, req := range batch {
+		s.m.applied.Inc()
+		s.tm.applied.Inc()
+		s.respond(req, applyResult{rep: rep, version: version})
+	}
+}
+
+// fallback counts one batch translation rejection by reason and applies the
+// batch per-statement.
+func (s *Shard) fallback(batch []*applyReq, reason string) {
+	s.m.batchFallbacks.Inc()
+	s.m.reg.Counter("server.batch.fallback." + reason).Inc()
+	for _, req := range batch {
+		s.respond(req, s.applyOne(req))
+	}
+}
+
 // safeApply contains a panic escaping the engine's own per-view recovery
 // (core.propagateAll repairs panicking views, but a panic elsewhere in the
 // apply path would otherwise kill the writer goroutine and wedge every
@@ -321,6 +497,25 @@ func (s *Shard) safeApply(ctx context.Context, st *update.Statement) (rep *core.
 		}
 	}()
 	return s.backend.ApplyCtx(ctx, st)
+}
+
+// safeApplyBatch is safeApply for a translated batch. On a contained panic
+// or a mid-batch engine fault the views are repaired by recomputation so
+// the writer (and the epoch it publishes next) stays consistent; `applied`
+// reports how many statements' effects survive.
+func (s *Shard) safeApplyBatch(plan *pulopt.BatchPlan) (rep *core.Report, applied int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.applyPanics.Inc()
+			s.eng.RepairAllViews()
+			rep, applied, err = nil, 0, fmt.Errorf("server: batch apply panicked: %v", r)
+		}
+	}()
+	rep, applied, err = s.backend.ApplyBatchCtx(context.Background(), plan)
+	if err != nil && applied < len(plan.Statements) {
+		s.eng.RepairAllViews()
+	}
+	return rep, applied, err
 }
 
 // publish captures the engine state, stamps it with the tenant name, and

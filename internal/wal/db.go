@@ -10,6 +10,7 @@ import (
 	"xivm/internal/core"
 	"xivm/internal/obs"
 	"xivm/internal/pattern"
+	"xivm/internal/pulopt"
 	"xivm/internal/store"
 	"xivm/internal/update"
 	"xivm/internal/xmltree"
@@ -370,6 +371,52 @@ func (db *DB) ApplyCtx(ctx context.Context, st *update.Statement) (*core.Report,
 		}
 	}
 	return rep, nil
+}
+
+// ApplyBatchCtx journals every constituent statement of a translated batch
+// — write-ahead, riding the group-commit window, in statement order so
+// replay (always per-statement) reproduces the same sequence — and then
+// applies the plan's combined units through the engine, one propagation
+// pass per unit.
+//
+// If journaling fails partway, the batch degrades to what the durable log
+// will replay: the already-journaled prefix is applied per-statement from
+// the plan's pre-resolved PULs, and the journal error is returned along
+// with the number of statements whose effects landed. Live state and
+// recovered state therefore never diverge, whichever side of the failure a
+// statement fell on.
+func (db *DB) ApplyBatchCtx(ctx context.Context, plan *pulopt.BatchPlan) (*core.Report, int, error) {
+	journaled := 0
+	var jerr error
+	for _, st := range plan.Statements {
+		if jerr = db.journal(st); jerr != nil {
+			break
+		}
+		journaled++
+	}
+	if jerr != nil {
+		rep := &core.Report{}
+		applied := 0
+		for _, pul := range plan.PerStatement[:journaled] {
+			prep, err := db.eng.ApplyPULCtx(ctx, pul)
+			if err != nil {
+				return rep, applied, err
+			}
+			applied++
+			core.MergeBatchReport(rep, prep)
+		}
+		return rep, applied, jerr
+	}
+	rep, applied, err := db.eng.ApplyBatchCtx(ctx, plan.Units)
+	if err != nil {
+		return rep, applied, err
+	}
+	if db.opts.CheckpointEvery > 0 && db.sinceCkpt >= db.opts.CheckpointEvery {
+		if err := db.Checkpoint(); err != nil {
+			return rep, applied, err
+		}
+	}
+	return rep, applied, nil
 }
 
 // Sync forces the group-commit buffer to disk — the SyncInterval/SyncNever
