@@ -11,8 +11,9 @@
 //
 // -json runs the hot-path micro suite (structural join, duplicate
 // elimination, word-relation access, end-to-end propagation) and writes a
-// machine-readable report; EXPERIMENTS.md describes how perf PRs combine two
-// such runs into a committed BENCH_<pr>.json.
+// machine-readable report; -query-json does the same for the query suite
+// (compiled vs interpreted XPath per shape). EXPERIMENTS.md describes how
+// perf PRs combine such runs into a committed BENCH_<pr>.json.
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	small := flag.Int("small", bench.SmallBytes, "small-document size in bytes (the paper's 100KB class)")
 	metrics := flag.String("metrics", "", `dump the whole run's engine metrics when done: "json" for stdout, or a file path`)
 	jsonOut := flag.String("json", "", `run the hot-path micro suite and write its machine-readable report (BENCH_*.json input): "-" for stdout, or a file path`)
+	queryJSONOut := flag.String("query-json", "", `run the query micro suite (compiled vs interpreted XPath per shape at -small) and write its machine-readable report: "-" for stdout, or a file path`)
 	batchJSONOut := flag.String("batch-json", "", `run the shard burst suite (batched vs per-statement serving throughput at -size and 4x -size) and write its machine-readable report: "-" for stdout, or a file path`)
 	serveAddr := flag.String("serve", "", "serve /debug/pprof and /debug/vars on this address while benchmarks run (e.g. :6060)")
 	flag.Parse()
@@ -47,6 +49,26 @@ func main() {
 			out = f
 		}
 		if err := bench.WriteMicroJSON(out, *small); err != nil {
+			fmt.Fprintln(os.Stderr, "xivmbench:", err)
+			os.Exit(1)
+		}
+		if len(flag.Args()) == 0 && *batchJSONOut == "" && *queryJSONOut == "" {
+			return
+		}
+	}
+
+	if *queryJSONOut != "" {
+		out := os.Stdout
+		if *queryJSONOut != "-" {
+			f, err := os.Create(*queryJSONOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xivmbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteQueryJSON(out, *small); err != nil {
 			fmt.Fprintln(os.Stderr, "xivmbench:", err)
 			os.Exit(1)
 		}

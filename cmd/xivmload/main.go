@@ -12,9 +12,11 @@
 // With -tenants N the tool creates databases t0…tN-1 through the admin
 // plane (existing ones are reused) and spreads readers and writers across
 // them round-robin; with -tenants 0 it targets whatever databases the
-// server already has. Readers alternate view queries (discovered per
-// database) and XPath queries; writers cycle update statements (-stmt, or
-// a built-in XMark mix), counting 429 backpressure rejections separately
+// server already has. Readers mix view queries (discovered per database)
+// and XPath queries per -xpath-frac (default 0.5; 1 is an all-XPath run
+// against the compiled-query cache); writers cycle update statements
+// (-stmt, or a built-in XMark mix), counting 429 backpressure rejections
+// separately
 // from hard failures. -selfserve starts an in-process registry seeded
 // with a generated XMark default document on an ephemeral localhost port
 // first — the CI smoke mode, exercising the full HTTP stack with no
@@ -56,6 +58,7 @@ import (
 	"xivm/internal/update"
 	"xivm/internal/wal"
 	"xivm/internal/xmark"
+	"xivm/internal/xpath"
 )
 
 type stmtFlag []string
@@ -72,9 +75,19 @@ var defaultStatements = []string{
 	`delete /site/open_auctions/open_auction/bidder`,
 }
 
+// defaultQueries spans the widened query surface — child spines,
+// descendant scans, predicate filters (existence, count, string functions),
+// positional steps and sibling axes — so a load run exercises every shape
+// the server's compiled-query cache serves.
 var defaultQueries = []string{
 	`/site/people/person/name`,
 	`/site/open_auctions/open_auction/bidder/increase`,
+	`//open_auction//increase`,
+	`//person[profile][homepage]/name`,
+	`//open_auction[count(bidder)>=2]/initial`,
+	`/site/open_auctions/open_auction/bidder[1]/increase`,
+	`//bidder/following-sibling::current`,
+	`//person[starts-with(@id,'person1')]`,
 }
 
 // opStats aggregates one operation class with lock-free hot-path updates.
@@ -135,6 +148,7 @@ func run() error {
 	burst := flag.Int("burst", 0, "bursty writers: one writer per database fires N concurrent distinct-target inserts per wave and waits for every ack (0: steady -writers mix)")
 	maxBatch := flag.Int("max-batch", 0, "-selfserve: shard batch cap (0: server default 32; 1: disable batching)")
 	verify := flag.Bool("verify", false, "after load, probe each database for read-your-writes and cross-tenant isolation")
+	xpathFrac := flag.Float64("xpath-frac", 0.5, "fraction of reads that are XPath queries rather than view reads (0..1)")
 	flag.Var(&stmts, "stmt", "update statement for writers (repeatable; default: built-in XMark mix)")
 	flag.Var(&queries, "xpath", "XPath query for readers (repeatable; default: built-in XMark queries)")
 	flag.Parse()
@@ -149,6 +163,15 @@ func run() error {
 			return fmt.Errorf("-stmt %q: %w", s, err)
 		}
 	}
+	for _, q := range queries {
+		if _, err := xpath.Parse(q); err != nil {
+			return fmt.Errorf("-xpath %q: %w", q, err)
+		}
+	}
+	if *xpathFrac < 0 || *xpathFrac > 1 {
+		return fmt.Errorf("-xpath-frac %v out of range [0,1]", *xpathFrac)
+	}
+	xpathPercent := int(*xpathFrac * 100)
 	if *selfserve && *tenants == 0 {
 		*tenants = 1
 	}
@@ -236,7 +259,9 @@ func run() error {
 			defer wg.Done()
 			for i := r; runCtx.Err() == nil; i++ {
 				t := targets[i%len(targets)]
-				if i%2 == 0 && len(t.views) > 0 {
+				// The read mix follows -xpath-frac deterministically: of
+				// every 100 iterations, the first xpathPercent go to XPath.
+				if i%100 >= xpathPercent && len(t.views) > 0 {
 					readView(runCtx, t, t.views[i%len(t.views)], &readStats)
 				} else {
 					readXPath(runCtx, t, queries[i%len(queries)], &xpathStats)

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"xivm/internal/qvm"
+	"xivm/internal/xpath"
+)
+
+// This file defines the query microbenchmarks behind `xivmbench -query-json`:
+// the same XPath evaluated by the interpreted evaluator (xpath.Eval, the
+// differential oracle) and by its compiled qvm program, per query shape. The
+// shapes cover the axes the compiler fuses — child spines, descendant-heavy
+// scans, predicate-heavy filters, positional and function predicates, and
+// sibling axes — so a BENCH_*.json run shows where compilation pays and by
+// how much. Paths are parsed and programs compiled outside the timed region:
+// both engines measure pure evaluation (the serving path amortizes parse and
+// compile through the compiled-query cache anyway).
+
+// QueryShape names one benchmarked query.
+type QueryShape struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+// QueryShapes returns the benchmarked query corpus over the XMark documents.
+func QueryShapes() []QueryShape {
+	return []QueryShape{
+		// Child spine: the cheapest shape, pure fused child steps.
+		{"ChildChain", "/site/open_auctions/open_auction/bidder/increase"},
+		// Descendant-heavy: two // steps, most of the document visited.
+		{"DescendantDeep", "//open_auction//increase"},
+		// Descendant-wide: one // step matching across every section.
+		{"DescendantWide", "//name"},
+		// Predicate-heavy: two existence predicates per candidate.
+		{"PredicateExists", "//person[profile][homepage]/name"},
+		// Function predicates: string tests against pooled literals.
+		{"PredicateString", "//person[starts-with(@id,'person1')][contains(emailaddress,'example')]"},
+		// Aggregation predicate: count() runs a sub-path per candidate.
+		{"PredicateCount", "//open_auction[count(bidder)>=2]/initial"},
+		// Positional: grouped filtering with per-group re-indexing.
+		{"Positional", "/site/open_auctions/open_auction/bidder[1]/increase"},
+		// Sibling axis: sideways moves plus doc-order dedup of the overlap.
+		{"Sibling", "//bidder/following-sibling::current"},
+	}
+}
+
+// QueryResult is one (shape, engine) measurement, shaped for BENCH_*.json.
+type QueryResult struct {
+	Name        string  `json:"name"`
+	Engine      string  `json:"engine"` // "interpreted" or "compiled"
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Matches     int     `json:"matches"`
+}
+
+// QueryReport is the machine-readable output of one query-suite run.
+// Speedup maps shape name to interpreted-ns / compiled-ns.
+type QueryReport struct {
+	Suite    string             `json:"suite"`
+	DocBytes int                `json:"doc_bytes"`
+	Results  []QueryResult      `json:"results"`
+	Speedup  map[string]float64 `json:"speedup"`
+}
+
+// RunQuery runs the query suite via testing.Benchmark and collects results.
+// Both engines must agree on every shape's match count; a divergence is a
+// correctness bug and panics rather than producing a misleading report.
+func RunQuery(docBytes int) QueryReport {
+	rep := QueryReport{Suite: "query", DocBytes: docBytes, Speedup: map[string]float64{}}
+	d := mustParse(Doc(docBytes))
+	for _, qs := range QueryShapes() {
+		p, err := xpath.Parse(qs.Query)
+		if err != nil {
+			panic(fmt.Sprintf("bench: parse %q: %v", qs.Query, err))
+		}
+		prog, err := qvm.Compile(p)
+		if err != nil {
+			panic(fmt.Sprintf("bench: compile %q: %v", qs.Query, err))
+		}
+		interpreted := xpath.Eval(d, p)
+		compiled := prog.Eval(d)
+		if len(interpreted) != len(compiled) {
+			panic(fmt.Sprintf("bench: %q: interpreted %d matches, compiled %d",
+				qs.Query, len(interpreted), len(compiled)))
+		}
+		if len(interpreted) == 0 {
+			panic(fmt.Sprintf("bench: %q matches nothing on the generated document", qs.Query))
+		}
+
+		ri := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(xpath.Eval(d, p)) == 0 {
+					b.Fatal("bench: empty result")
+				}
+			}
+		})
+		rc := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(prog.Eval(d)) == 0 {
+					b.Fatal("bench: empty result")
+				}
+			}
+		})
+		rep.Results = append(rep.Results,
+			queryResult(qs.Name, "interpreted", ri, len(interpreted)),
+			queryResult(qs.Name, "compiled", rc, len(compiled)))
+		ins := float64(ri.T.Nanoseconds()) / float64(ri.N)
+		cns := float64(rc.T.Nanoseconds()) / float64(rc.N)
+		if cns > 0 {
+			rep.Speedup[qs.Name] = ins / cns
+		}
+	}
+	return rep
+}
+
+func queryResult(name, engine string, r testing.BenchmarkResult, matches int) QueryResult {
+	return QueryResult{
+		Name:        name,
+		Engine:      engine,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Matches:     matches,
+	}
+}
+
+// WriteQueryJSON runs the suite and writes the report as indented JSON.
+func WriteQueryJSON(w io.Writer, docBytes int) error {
+	rep := RunQuery(docBytes)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"xivm/internal/qvm"
+	"xivm/internal/xpath"
+)
+
+// TestQueryShapesAgree pins that every benchmarked shape parses, compiles,
+// matches something on the generated document, and that the compiled program
+// returns exactly the interpreted evaluator's nodes — the same property
+// RunQuery asserts by count before timing anything.
+func TestQueryShapesAgree(t *testing.T) {
+	d := mustParse(Doc(SmallBytes))
+	for _, qs := range QueryShapes() {
+		p, err := xpath.Parse(qs.Query)
+		if err != nil {
+			t.Fatalf("%s: parse %q: %v", qs.Name, qs.Query, err)
+		}
+		prog, err := qvm.Compile(p)
+		if err != nil {
+			t.Fatalf("%s: compile %q: %v", qs.Name, qs.Query, err)
+		}
+		want := xpath.Eval(d, p)
+		got := prog.Eval(d)
+		if len(want) == 0 {
+			t.Errorf("%s: %q matches nothing on the benchmark document", qs.Name, qs.Query)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: compiled %d matches, interpreted %d", qs.Name, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("%s: match %d diverges: %s vs %s", qs.Name, i, got[i].ID, want[i].ID)
+				break
+			}
+		}
+	}
+}
+
+// Benchmark wrappers over the query suite so `go test -bench Query` measures
+// exactly what `xivmbench -query-json` reports. Compiled and interpreted run
+// as sub-benchmarks per shape; CI runs these with -benchtime=1x as a
+// bit-rot smoke.
+
+func BenchmarkQuery(b *testing.B) {
+	d := mustParse(Doc(SmallBytes))
+	for _, qs := range QueryShapes() {
+		p, err := xpath.Parse(qs.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := qvm.Compile(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(qs.Name+"/interpreted", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(xpath.Eval(d, p)) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+		b.Run(qs.Name+"/compiled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(prog.Eval(d)) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}

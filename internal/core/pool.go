@@ -6,6 +6,7 @@ import (
 	"xivm/internal/algebra"
 	"xivm/internal/dewey"
 	"xivm/internal/pattern"
+	"xivm/internal/qvm"
 	"xivm/internal/store"
 	"xivm/internal/update"
 	"xivm/internal/xmltree"
@@ -24,9 +25,11 @@ import (
 // columns back to its own pattern-node indexes.
 
 type poolEntry struct {
-	sub  *pattern.Pattern // canonical sub-pattern (indexes 0..k-1)
-	mat  *store.Mat
-	refs int
+	sub    *pattern.Pattern // canonical sub-pattern (indexes 0..k-1)
+	mat    *store.Mat
+	refs   int
+	prog   *qvm.Program // compiled existence program for the sub-pattern
+	labels []string     // distinct node labels (qvm.RequiredLabels)
 }
 
 // Pool shares materialized snowcaps between views.
@@ -79,8 +82,26 @@ func (pl *Pool) Register(sub *pattern.Pattern) string {
 	}
 	m := store.NewMat(sub, sub.FullMask())
 	m.FillFromBlock(algebra.EvalSubPattern(sub, sub.FullMask(), pl.store.Inputs(sub), pl.join))
-	pl.entries[sig] = &poolEntry{sub: sub, mat: m, refs: 1}
+	e := &poolEntry{sub: sub, mat: m, refs: 1, labels: qvm.RequiredLabels(sub)}
+	// The compiled existence program decides "can this sub-pattern match at
+	// all?" without building tuples; patterns beyond the compiler's dialect
+	// (none today) would simply skip the fast existence path.
+	if prog, err := qvm.CompilePattern(sub); err == nil {
+		e.prog = prog
+	}
+	pl.entries[sig] = e
 	return sig
+}
+
+// Exists reports whether the registered sub-pattern has at least one
+// embedding in the document, via its compiled program's early-exit walk.
+// The second result is false for unknown signatures.
+func (pl *Pool) Exists(sig string, d *xmltree.Document) (bool, bool) {
+	e, ok := pl.entries[sig]
+	if !ok || e.prog == nil {
+		return false, false
+	}
+	return e.prog.Exists(d), true
 }
 
 // Block returns the shared materialization's tuples with columns remapped
@@ -117,8 +138,18 @@ func (pl *Pool) SharedRefs() int {
 // insertions: each entry's additions are its own insertion terms, with ∆
 // tables extracted per entry (signatures embed the σ predicates, so the
 // filtered inputs are identical for every sharing view).
+// The per-statement presence scan makes maintenance O(one walk + affected
+// entries) instead of O(entries × walk): every insertion term joins at
+// least one ∆ table (InsertTerms excludes the all-relational mask), so an
+// entry none of whose node labels occur in the inserted forest has all its
+// ∆ tables empty and every term empty — it can be skipped before the
+// per-entry delta extraction walk.
 func (pl *Pool) ApplyInsert(inserted []*xmltree.Node) {
+	pr := pl.scanPresence(inserted)
 	for _, e := range pl.entries {
+		if !pr.hasAny(e.labels) {
+			continue
+		}
 		deltaIn := deltaInputsFor(e.sub, inserted, pl.store.Doc())
 		rIn := pl.store.Inputs(e.sub)
 		full := e.sub.FullMask()
@@ -163,6 +194,67 @@ func (pl *Pool) ApplyDelete(deleted []*xmltree.Node) {
 	for _, e := range pl.entries {
 		e.mat.RemoveUnderAny(cover)
 	}
+}
+
+// insertPresence summarizes one statement's inserted forest for the label
+// gate: which node labels occur, whether any element occurs (for "*"
+// pattern nodes), and which registered word labels have a matching token.
+type insertPresence struct {
+	anyElement bool
+	labels     map[string]bool // element labels, "@name", "#text"
+	words      map[string]bool // "~w" labels with a witness text node
+}
+
+// scanPresence walks the inserted roots once, testing only the word labels
+// some entry actually uses.
+func (pl *Pool) scanPresence(inserted []*xmltree.Node) insertPresence {
+	var words []string
+	seenWord := map[string]bool{}
+	for _, e := range pl.entries {
+		for _, l := range e.labels {
+			if strings.HasPrefix(l, "~") && !seenWord[l] {
+				seenWord[l] = true
+				words = append(words, l)
+			}
+		}
+	}
+	pr := insertPresence{labels: map[string]bool{}, words: map[string]bool{}}
+	for _, r := range inserted {
+		xmltree.Walk(r, func(n *xmltree.Node) bool {
+			if n.Kind == xmltree.Element {
+				pr.anyElement = true
+			}
+			pr.labels[n.Label] = true
+			for _, w := range words {
+				if !pr.words[w] && n.MatchesWord(w[1:]) {
+					pr.words[w] = true
+				}
+			}
+			return true
+		})
+	}
+	return pr
+}
+
+// hasAny reports whether any of the entry's labels occurs in the forest.
+func (pr *insertPresence) hasAny(labels []string) bool {
+	for _, l := range labels {
+		switch {
+		case l == "*":
+			if pr.anyElement {
+				return true
+			}
+		case strings.HasPrefix(l, "~"):
+			if pr.words[l] {
+				return true
+			}
+		default:
+			if pr.labels[l] {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func coverOf(deleted []*xmltree.Node) *dewey.Cover {

@@ -167,6 +167,9 @@ func terminalLabels(p xpath.Path, g *dtd.DTD) map[string]bool {
 // path selects (including the node itself); nil means unknown. Without a
 // DTD this is only known for pure /-paths with named steps.
 func ancestorLabels(p xpath.Path, g *dtd.DTD) map[string]bool {
+	// Sibling steps keep a path pure: a sibling node shares its ancestor
+	// chain with the step before it, whose labels are all collected below,
+	// so the result is still a sound superset of the at-or-above labels.
 	pure := true
 	for _, s := range p.Steps {
 		if s.Axis == xpath.Descendant || s.Kind == xpath.TestWildcard {
@@ -225,6 +228,12 @@ func chainLabels(p xpath.Path, g *dtd.DTD) map[string]bool {
 		if st.Kind == xpath.TestAttr || st.Kind == xpath.TestText {
 			// DTD-as-CFG does not model attributes or mixed text precisely
 			// enough to bound chains through them.
+			return nil
+		}
+		if st.Axis != xpath.Child && st.Axis != xpath.Descendant {
+			// Sibling axes move sideways, which the child-graph frontier
+			// cannot track (it would need the parent's other children);
+			// report unknown rather than an under-approximated chain.
 			return nil
 		}
 		next := map[string]bool{}

@@ -203,6 +203,11 @@ func simpleNamePath(p xpath.Path) ([]string, bool) {
 		if s.Kind != xpath.TestName || len(s.Preds) > 0 {
 			return nil, false
 		}
+		if s.Axis != xpath.Child && s.Axis != xpath.Descendant {
+			// Sibling axes select by position among siblings, which the
+			// batched label-path translation cannot express.
+			return nil, false
+		}
 		names = append(names, s.Name)
 	}
 	return names, true

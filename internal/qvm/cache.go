@@ -1,0 +1,71 @@
+package qvm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU of compiled programs keyed by query string.
+// Programs are immutable and snapshots are immutable, so cached programs
+// never need invalidation: a hit is always safe to run, against any epoch.
+// Keying by the raw query string means a hit also skips the parse.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	prog *Program
+}
+
+// NewCache creates an LRU cache holding up to capacity programs
+// (a capacity below 1 is raised to 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached program for the query, marking it most recently
+// used.
+func (c *Cache) Get(query string) (*Program, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[query]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).prog, true
+}
+
+// Add inserts a program, evicting the least recently used entry when full.
+// It reports whether an eviction happened.
+func (c *Cache) Add(query string, prog *Program) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[query]; ok {
+		el.Value.(*cacheEntry).prog = prog
+		c.ll.MoveToFront(el)
+		return false
+	}
+	c.items[query] = c.ll.PushFront(&cacheEntry{key: query, prog: prog})
+	if c.ll.Len() <= c.cap {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.items, oldest.Value.(*cacheEntry).key)
+	return true
+}
+
+// Len returns the number of cached programs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,142 @@
+// Package qvm compiles parsed xpath.Path and pattern.Pattern structures
+// into compact bytecode programs executed by a small stack VM. A program is
+// immutable once compiled: it holds no document state, so one program can
+// serve any number of concurrent evaluations over any number of immutable
+// snapshots — the serving-path cache (Cache) exploits exactly that, and no
+// invalidation protocol is needed.
+//
+// Instruction layout. A program is one flat []Instr array holding three
+// kinds of code, distinguished by position rather than by markers:
+//
+//   - path segments: runs of fused step opcodes terminated by opEnd. The
+//     main segment starts at pc 0; relative sub-paths referenced from
+//     predicates are appended as further segments.
+//   - predicate chains: one block per predicate, each a short-circuiting
+//     flag-register bytecode ending in pRet. A step's B operand points at
+//     the first block of its chain; the block count rides in C.
+//
+// Step opcodes fuse the axis with the node test (child/descendant/
+// following-sibling/preceding-sibling × name/wildcard/attribute/text/word)
+// so the inner matching loop is a single switch with no further
+// dispatching. Labels and literals live in per-program constant pools,
+// referenced by index.
+package qvm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Axis and test codes packed into the fused step opcodes.
+const (
+	axChild = iota
+	axDesc
+	axFollowing
+	axPreceding
+	numAxes
+)
+
+const (
+	tsName = iota
+	tsWild
+	tsAttr
+	tsText
+	tsWord // pattern word leaves "~w": text nodes containing the token
+	numTests
+)
+
+const (
+	// opEnd terminates a path segment.
+	opEnd Op = 0
+	// opStep0 .. opStepLast are the fused step opcodes:
+	// opStep0 + axis*numTests + test.
+	opStep0    Op = 1
+	opStepLast Op = opStep0 + numAxes*numTests - 1
+)
+
+// Predicate ops (flag-register bytecode inside predicate blocks).
+const (
+	pExists   Op = opStepLast + 1 + iota // A=subpath pc, C=1 if the sub-path is simple (early-exit eligible)
+	pEq                                  // A=subpath pc, B=literal index, C=simple bit
+	pContains                            // A=subpath pc, B=literal index, C=simple bit
+	pStarts                              // A=subpath pc, B=literal index, C=simple bit
+	pCount                               // A=subpath pc, B=N, C=comparison op (xpath.CmpOp)
+	pPos                                 // A=N: flag = (position == N)
+	pLast                                // flag = (position == size)
+	pSelfEq                              // A=literal index: flag = (context string value == literal)
+	pJumpF                               // A=target pc: jump if flag is false
+	pJumpT                               // A=target pc: jump if flag is true
+	pRet                                 // end of predicate block; block result is the flag
+)
+
+// Step C-operand flags.
+const (
+	stepGrouped    = 1 << 0 // chain contains positional predicates: filter per context group
+	predCountShift = 8      // C >> predCountShift = number of predicate blocks
+)
+
+// Instr is one instruction. Operand meaning depends on the opcode; unused
+// operands are -1 (A, B) or 0 (C).
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+// Program is a compiled, immutable query program.
+type Program struct {
+	Instrs []Instr
+	Names  []string // label constants (attribute names stored with "@")
+	Lits   []string // string literal constants
+	// FromDoc marks the main segment as anchored at the virtual document
+	// node (absolute paths and patterns); relative programs start at the
+	// context node itself.
+	FromDoc bool
+	// Source is the text the program was compiled from, for diagnostics.
+	Source string
+}
+
+func stepOp(axis, test int) Op { return opStep0 + Op(axis*numTests+test) }
+
+func (op Op) isStep() bool { return op >= opStep0 && op <= opStepLast }
+
+func (op Op) axis() int { return int(op-opStep0) / numTests }
+func (op Op) test() int { return int(op-opStep0) % numTests }
+
+var axisNames = [numAxes]string{"child", "desc", "following", "preceding"}
+var testNames = [numTests]string{"name", "wild", "attr", "text", "word"}
+
+var predNames = map[Op]string{
+	pExists: "exists", pEq: "eq", pContains: "contains", pStarts: "starts",
+	pCount: "count", pPos: "pos", pLast: "last", pSelfEq: "selfeq",
+	pJumpF: "jumpf", pJumpT: "jumpt", pRet: "ret",
+}
+
+// Disasm renders the program for tests and debugging.
+func (p *Program) Disasm() string {
+	var b strings.Builder
+	for pc, in := range p.Instrs {
+		fmt.Fprintf(&b, "%3d: ", pc)
+		switch {
+		case in.Op == opEnd:
+			b.WriteString("end")
+		case in.Op.isStep():
+			fmt.Fprintf(&b, "step %s/%s", axisNames[in.Op.axis()], testNames[in.Op.test()])
+			if in.A >= 0 {
+				fmt.Fprintf(&b, " name=%q", p.Names[in.A])
+			}
+			if in.B >= 0 {
+				fmt.Fprintf(&b, " preds@%d n=%d", in.B, in.C>>predCountShift)
+				if in.C&stepGrouped != 0 {
+					b.WriteString(" grouped")
+				}
+			}
+		default:
+			fmt.Fprintf(&b, "%s a=%d b=%d c=%d", predNames[in.Op], in.A, in.B, in.C)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"xivm/internal/obs"
+	"xivm/internal/qvm"
 	"xivm/internal/update"
-	"xivm/internal/xpath"
 )
 
 // Wire types for the JSON API. They are exported so clients
@@ -252,13 +252,26 @@ func (r *Registry) handleXPath(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), "missing q parameter")
 		return
 	}
-	path, err := xpath.Parse(q)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), err.Error())
-		return
+	// Keying the compiled-program cache by the raw query string means a hit
+	// skips the parse as well as the compile. Programs are immutable and
+	// snapshots are immutable, so hits are valid against any tenant's epoch.
+	prog, ok := r.progs.Get(q)
+	if ok {
+		r.m.xpathCacheHits.Inc()
+	} else {
+		r.m.xpathCacheMisses.Inc()
+		var err error
+		prog, err = qvm.CompileString(q)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), err.Error())
+			return
+		}
+		if r.progs.Add(q, prog) {
+			r.m.xpathCacheEvicts.Inc()
+		}
 	}
 	snap := sh.Epoch()
-	nodes := xpath.Eval(snap.Doc(), path)
+	nodes := prog.Eval(snap.Doc())
 	resp := XPathResponse{Tenant: snap.Tenant, Version: snap.Version, Query: q, Matches: make([]MatchJSON, 0, len(nodes))}
 	for _, n := range nodes {
 		resp.Matches = append(resp.Matches, MatchJSON{ID: n.ID.String(), Label: n.Label, Value: n.StringValue()})

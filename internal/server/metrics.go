@@ -20,6 +20,9 @@ import "xivm/internal/obs"
 //	server.reject.queue_full  updates rejected with ErrQueueFull (429)
 //	server.reject.shutdown    updates rejected with ErrShuttingDown (503)
 //	server.sync.errors        backend Sync failures during drain
+//	server.xpath.cache.hit    /xpath queries served by a cached compiled program
+//	server.xpath.cache.miss   /xpath queries that compiled a fresh program
+//	server.xpath.cache.evict  compiled programs evicted from the LRU
 //	snapshot.epochs           epochs published
 //	snapshot.rows             cumulative view rows copied into epochs
 //	snapshot.doc.nodes        cumulative document nodes copied into epochs
@@ -48,6 +51,9 @@ type serverMetrics struct {
 	rejectedFull      *obs.Counter
 	rejectedShutdown  *obs.Counter
 	syncErrors        *obs.Counter
+	xpathCacheHits    *obs.Counter
+	xpathCacheMisses  *obs.Counter
+	xpathCacheEvicts  *obs.Counter
 	epochs            *obs.Counter
 	epochRows         *obs.Counter
 	epochDocNodes     *obs.Counter
@@ -78,6 +84,9 @@ func newServerMetrics(reg *obs.Metrics) *serverMetrics {
 		rejectedFull:      reg.Counter("server.reject.queue_full"),
 		rejectedShutdown:  reg.Counter("server.reject.shutdown"),
 		syncErrors:        reg.Counter("server.sync.errors"),
+		xpathCacheHits:    reg.Counter("server.xpath.cache.hit"),
+		xpathCacheMisses:  reg.Counter("server.xpath.cache.miss"),
+		xpathCacheEvicts:  reg.Counter("server.xpath.cache.evict"),
 		epochs:            reg.Counter("snapshot.epochs"),
 		epochRows:         reg.Counter("snapshot.rows"),
 		epochDocNodes:     reg.Counter("snapshot.doc.nodes"),

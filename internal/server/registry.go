@@ -8,6 +8,7 @@ import (
 
 	"xivm/internal/core"
 	"xivm/internal/pattern"
+	"xivm/internal/qvm"
 	"xivm/internal/wal"
 	"xivm/internal/xmltree"
 )
@@ -44,6 +45,11 @@ type RegistryConfig struct {
 	// DefaultViews are registered on every tenant created without views of
 	// its own.
 	DefaultViews []ViewSpec
+	// XPathCacheSize caps the registry-wide LRU of compiled XPath programs
+	// serving /v1/db/{name}/xpath. Zero means the default (256); compiled
+	// programs are immutable and document-independent, so one cache safely
+	// serves every tenant and epoch.
+	XPathCacheSize int
 
 	// wrapBackend, when set, wraps every tenant's backend before the shard
 	// is built — the test seam for gating or failing one tenant's applies.
@@ -55,8 +61,9 @@ type RegistryConfig struct {
 // open) and routes the HTTP API to per-tenant shards. All methods are safe
 // for concurrent use.
 type Registry struct {
-	cfg RegistryConfig
-	m   *serverMetrics
+	cfg   RegistryConfig
+	m     *serverMetrics
+	progs *qvm.Cache // compiled XPath programs, keyed by query string
 
 	mu       sync.RWMutex
 	shards   map[string]*Shard
@@ -78,9 +85,14 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 			return nil, fmt.Errorf("server: default document: %w", err)
 		}
 	}
+	cacheSize := cfg.XPathCacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
+	}
 	r := &Registry{
 		cfg:      cfg,
 		m:        newServerMetrics(cfg.Shard.Metrics),
+		progs:    qvm.NewCache(cacheSize),
 		shards:   make(map[string]*Shard),
 		creating: make(map[string]bool),
 	}

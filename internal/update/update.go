@@ -12,10 +12,38 @@ import (
 	"strings"
 
 	"xivm/internal/algebra"
+	"xivm/internal/qvm"
 	"xivm/internal/store"
 	"xivm/internal/xmltree"
 	"xivm/internal/xpath"
 )
+
+// targetProgs caches compiled target-path programs keyed by the statement's
+// source text — workloads re-issue the same statement shapes (the serve
+// loop, the load generator, replayed WALs), and the source string is
+// already in hand, so a hit skips both compilation and the interpreted
+// walk. Statements built programmatically (empty Source) fall back to the
+// interpreter; compiled programs are immutable so the cache needs no
+// invalidation.
+var targetProgs = qvm.NewCache(512)
+
+// evalTarget evaluates a statement path, compiled when a cache key is
+// available.
+func evalTarget(d *xmltree.Document, p xpath.Path, key string) []*xmltree.Node {
+	if key == "" {
+		return xpath.Eval(d, p)
+	}
+	if prog, ok := targetProgs.Get(key); ok {
+		return prog.Eval(d)
+	}
+	prog, err := qvm.Compile(p)
+	if err != nil {
+		// Conservative: any path the compiler cannot handle still evaluates.
+		return xpath.Eval(d, p)
+	}
+	targetProgs.Add(key, prog)
+	return prog.Eval(d)
+}
 
 // Kind distinguishes insertions from deletions.
 type Kind uint8
@@ -89,7 +117,9 @@ func ExpandReplace(d *xmltree.Document, st *Statement) (del, ins *PUL, err error
 	if len(st.Forest) == 0 {
 		return nil, nil, fmt.Errorf("update: replace with empty forest")
 	}
-	delStmt := &Statement{Kind: Delete, Target: st.Target}
+	// The expansion's delete stage shares the replace statement's target
+	// path, so it can share its compiled-program cache slot too.
+	delStmt := &Statement{Kind: Delete, Target: st.Target, Source: st.Source}
 	del, err = ComputePUL(d, delStmt)
 	if err != nil {
 		return nil, nil, err
@@ -110,7 +140,7 @@ func ComputePUL(d *xmltree.Document, st *Statement) (*PUL, error) {
 	if st.Kind == Replace {
 		return nil, fmt.Errorf("update: replace statements expand via ExpandReplace")
 	}
-	targets := xpath.Eval(d, st.Target)
+	targets := evalTarget(d, st.Target, st.Source)
 	pul := &PUL{Kind: st.Kind}
 	switch st.Kind {
 	case Delete:
@@ -132,7 +162,11 @@ func ComputePUL(d *xmltree.Document, st *Statement) (*PUL, error) {
 	case Insert:
 		forest := st.Forest
 		if st.CopyOf != nil {
-			for _, n := range xpath.Eval(d, *st.CopyOf) {
+			key := ""
+			if st.Source != "" {
+				key = st.Source + "#copy"
+			}
+			for _, n := range evalTarget(d, *st.CopyOf, key) {
 				forest = append(forest, n)
 			}
 		}

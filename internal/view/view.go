@@ -189,6 +189,12 @@ type translator struct {
 func (t *translator) addPath(base *pattern.Node, p xpath.Path) (*pattern.Node, error) {
 	cur := base
 	for i, st := range p.Steps {
+		if st.Axis != xpath.Child && st.Axis != xpath.Descendant {
+			// Tree patterns have only parent-child and ancestor-descendant
+			// edges; sibling axes are a query-surface feature, not a view
+			// feature.
+			return nil, fmt.Errorf("view: sibling axes are outside the pattern dialect (step %d)", i)
+		}
 		n := &pattern.Node{Desc: st.Axis == xpath.Descendant}
 		switch st.Kind {
 		case xpath.TestName:

@@ -17,6 +17,7 @@ func (d *Document) ApplyInsert(n *Node, t *Node) (*Node, error) {
 	}
 	cp := d.cloneAssign(t, n, dewey.Between(n.lastOrd(), nil))
 	n.Children = append(n.Children, cp)
+	d.invalidateLabels()
 	return cp, nil
 }
 
@@ -76,6 +77,7 @@ func (d *Document) ApplyDelete(n *Node) (*Node, error) {
 	p.Children = append(p.Children[:idx], p.Children[idx+1:]...)
 	n.Parent = nil
 	d.unindex(n)
+	d.invalidateLabels()
 	return n, nil
 }
 
@@ -114,5 +116,6 @@ func (d *Document) ApplyDeleteBatch(nodes []*Node) ([]*Node, error) {
 		d.unindex(n)
 		out = append(out, n)
 	}
+	d.invalidateLabels()
 	return out, nil
 }

@@ -8,6 +8,8 @@ package xmltree
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"xivm/internal/dewey"
 )
@@ -58,6 +60,11 @@ type Node struct {
 type Document struct {
 	Root  *Node
 	index map[string]*Node
+
+	// labels is the lazily-built label index (see labels.go); labelMu
+	// serializes its construction so concurrent readers build it once.
+	labels  atomic.Pointer[labelIndex]
+	labelMu sync.Mutex
 }
 
 // NewDocument wraps a root node built elsewhere, indexing its subtree.

@@ -1,10 +1,13 @@
 // Package xpath implements the XPath{/,//,*,[]} dialect used by the paper
-// for view paths and update target paths: child and descendant axes, name
-// and wildcard tests, attribute and text() steps, and predicates built from
-// relative-path existence tests, value comparisons, and / or combinations.
+// for view paths and update target paths: child, descendant and sibling
+// axes, name and wildcard tests, attribute and text() steps, and predicates
+// built from relative-path existence tests, value comparisons, positional
+// tests ([1], [last()]), a small function library (count, contains,
+// starts-with), and / or combinations.
 package xpath
 
 import (
+	"strconv"
 	"strings"
 
 	"xivm/internal/dewey"
@@ -20,6 +23,14 @@ const (
 	// descendant-or-self followed by child, as in standard XPath
 	// abbreviated syntax.
 	Descendant
+	// FollowingSibling selects siblings after the context node, in
+	// document order ("/following-sibling::x").
+	FollowingSibling
+	// PrecedingSibling selects siblings before the context node. The
+	// step's match group is ordered nearest-first (reverse document
+	// order), so [1] is the immediately preceding sibling, as in standard
+	// XPath; final results are still reported in document order.
+	PrecedingSibling
 )
 
 // TestKind distinguishes node tests.
@@ -36,7 +47,10 @@ const (
 	TestText
 )
 
-// Step is one location step.
+// Step is one location step. Predicates apply sequentially to the step's
+// per-context match group: each predicate filters the group, and positional
+// tests see positions within the group as filtered by the predicates before
+// them ("a[b][2]" is the second a-child having a b).
 type Step struct {
 	Axis  Axis
 	Kind  TestKind
@@ -63,25 +77,104 @@ type AndExpr struct{ Left, Right Expr }
 // ExistsExpr tests whether a relative path has at least one result.
 type ExistsExpr struct{ Path Path }
 
-// EqExpr compares the string value of a relative path's first result with a
-// literal.
+// EqExpr compares the string value of a relative path's results with a
+// literal: true when any result's string value equals it.
 type EqExpr struct {
 	Path Path
 	Lit  string
 }
 
-func (OrExpr) exprNode()     {}
-func (AndExpr) exprNode()    {}
-func (ExistsExpr) exprNode() {}
-func (EqExpr) exprNode()     {}
+// PosExpr is a positional predicate "[n]": true when the context node is
+// the n-th node (1-based) of the step's match group.
+type PosExpr struct{ N int }
+
+// LastExpr is "[last()]": true when the context node is the last node of
+// the step's match group.
+type LastExpr struct{}
+
+// CmpOp is a comparison operator for count() predicates.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota // =
+	CmpNe              // !=
+	CmpLt              // <
+	CmpLe              // <=
+	CmpGt              // >
+	CmpGe              // >=
+)
+
+// Holds reports whether "a op b" is true.
+func (o CmpOp) Holds(a, b int) bool {
+	switch o {
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	}
+	return a == b
+}
+
+func (o CmpOp) String() string {
+	switch o {
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	}
+	return "="
+}
+
+// CountExpr is "count(path) op n": the number of nodes the relative path
+// selects, compared to an integer.
+type CountExpr struct {
+	Path Path
+	Op   CmpOp
+	N    int
+}
+
+// ContainsExpr is "contains(path, lit)" (or "starts-with" when Prefix):
+// true when any node the relative path selects has a string value
+// containing (or starting with) the literal.
+type ContainsExpr struct {
+	Path   Path
+	Lit    string
+	Prefix bool
+}
+
+func (OrExpr) exprNode()       {}
+func (AndExpr) exprNode()      {}
+func (ExistsExpr) exprNode()   {}
+func (EqExpr) exprNode()       {}
+func (PosExpr) exprNode()      {}
+func (LastExpr) exprNode()     {}
+func (CountExpr) exprNode()    {}
+func (ContainsExpr) exprNode() {}
 
 // String renders the path back to XPath syntax.
 func (p Path) String() string {
 	var b strings.Builder
 	for _, s := range p.Steps {
-		if s.Axis == Descendant {
+		switch s.Axis {
+		case Descendant:
 			b.WriteString("//")
-		} else {
+		case FollowingSibling:
+			b.WriteString("/following-sibling::")
+		case PrecedingSibling:
+			b.WriteString("/preceding-sibling::")
+		default:
 			b.WriteString("/")
 		}
 		b.WriteString(stepName(s))
@@ -106,6 +199,30 @@ func stepName(s Step) string {
 	return s.Name
 }
 
+// relString renders a relative path as it appears inside a predicate: a
+// leading child step drops its slash, but a leading descendant step keeps
+// its "//" (trimming one slash would reparse as a child step).
+func relString(p Path) string {
+	s := p.String()
+	if strings.HasPrefix(s, "/") && !strings.HasPrefix(s, "//") {
+		return s[1:]
+	}
+	return s
+}
+
+// writeLiteral quotes a literal with whichever quote it does not contain.
+// Literals produced by the parser never contain their own delimiter, so
+// printed expressions always reparse.
+func writeLiteral(b *strings.Builder, lit string) {
+	q := byte('"')
+	if strings.IndexByte(lit, '"') >= 0 {
+		q = '\''
+	}
+	b.WriteByte(q)
+	b.WriteString(lit)
+	b.WriteByte(q)
+}
+
 func writeExpr(b *strings.Builder, e Expr) {
 	switch x := e.(type) {
 	case OrExpr:
@@ -119,12 +236,31 @@ func writeExpr(b *strings.Builder, e Expr) {
 		b.WriteString(" and ")
 		writeAndOperand(b, x.Right)
 	case ExistsExpr:
-		b.WriteString(strings.TrimPrefix(x.Path.String(), "/"))
+		b.WriteString(relString(x.Path))
 	case EqExpr:
-		b.WriteString(strings.TrimPrefix(x.Path.String(), "/"))
-		b.WriteString("=\"")
-		b.WriteString(x.Lit)
-		b.WriteString("\"")
+		b.WriteString(relString(x.Path))
+		b.WriteString("=")
+		writeLiteral(b, x.Lit)
+	case PosExpr:
+		b.WriteString(strconv.Itoa(x.N))
+	case LastExpr:
+		b.WriteString("last()")
+	case CountExpr:
+		b.WriteString("count(")
+		b.WriteString(relString(x.Path))
+		b.WriteString(")")
+		b.WriteString(x.Op.String())
+		b.WriteString(strconv.Itoa(x.N))
+	case ContainsExpr:
+		if x.Prefix {
+			b.WriteString("starts-with(")
+		} else {
+			b.WriteString("contains(")
+		}
+		b.WriteString(relString(x.Path))
+		b.WriteString(",")
+		writeLiteral(b, x.Lit)
+		b.WriteString(")")
 	}
 }
 
@@ -152,10 +288,14 @@ func (p Path) IsLinear() bool {
 // DeweySteps converts the path's spine (ignoring predicates) to the label
 // path condition used by the Path Filter primitive. It returns false if the
 // path contains attribute or text() steps, which have no label-path
-// equivalent for elements.
+// equivalent for elements, or sibling axes, which label paths cannot
+// express.
 func (p Path) DeweySteps() ([]dewey.PathStep, bool) {
 	out := make([]dewey.PathStep, 0, len(p.Steps))
 	for _, s := range p.Steps {
+		if s.Axis != Child && s.Axis != Descendant {
+			return nil, false
+		}
 		switch s.Kind {
 		case TestName:
 			out = append(out, dewey.PathStep{Label: s.Name, Desc: s.Axis == Descendant})

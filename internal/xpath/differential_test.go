@@ -1,16 +1,18 @@
 package xpath
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 
 	"xivm/internal/xmltree"
 )
 
-// refEval is an independent reference evaluator: it filters the full node
-// list step by step using parent-chain checks, instead of navigating.
+// refEval is an independent reference evaluator: instead of navigating, it
+// filters the full document node list per context using parent-chain and
+// sibling-scan checks, building each step's per-context match group
+// explicitly and applying predicates sequentially over it — the same
+// semantics the navigating evaluator and the compiled VM implement, reached
+// by a different route.
 func refEval(d *xmltree.Document, p Path) []*xmltree.Node {
 	var all []*xmltree.Node
 	xmltree.Walk(d.Root, func(n *xmltree.Node) bool {
@@ -30,66 +32,109 @@ func refEval(d *xmltree.Document, p Path) []*xmltree.Node {
 		}
 		return false
 	}
-	// ctx holds nodes bound by the previous step (nil element = document).
-	ctx := map[*xmltree.Node]bool{nil: true}
-	for _, st := range p.Steps {
-		next := map[*xmltree.Node]bool{}
+	// group builds the ordered match group of one step for one context
+	// node (nil = virtual document node) by scanning the document-ordered
+	// node list; preceding-sibling reverses to nearest-first order.
+	group := func(st Step, c *xmltree.Node) []*xmltree.Node {
+		var g []*xmltree.Node
 		for _, n := range all {
-			if !matches(st, n) {
-				continue
-			}
 			ok := false
-			if st.Axis == Child {
-				parent := n.Parent
-				if ctx[parent] {
-					ok = true
+			switch st.Axis {
+			case Child:
+				if c == nil {
+					ok = n == d.Root
+				} else {
+					ok = n.Parent == c
 				}
-				if parent == d.Root.Parent && ctx[nil] && n == d.Root {
+			case Descendant:
+				if c == nil {
 					ok = true
-				}
-			} else {
-				for a := n.Parent; ; a = a.Parent {
-					if ctx[a] {
-						ok = true
-						break
+				} else {
+					for a := n.Parent; a != nil; a = a.Parent {
+						if a == c {
+							ok = true
+							break
+						}
 					}
-					if a == nil {
-						break
+				}
+			case FollowingSibling:
+				if c != nil && n.Parent != nil && n.Parent == c.Parent && n != c {
+					// After c in its parent's child list?
+					seen := false
+					for _, ch := range c.Parent.Children {
+						if ch == c {
+							seen = true
+							continue
+						}
+						if ch == n {
+							ok = seen
+							break
+						}
+					}
+				}
+			case PrecedingSibling:
+				if c != nil && n.Parent != nil && n.Parent == c.Parent && n != c {
+					for _, ch := range c.Parent.Children {
+						if ch == n {
+							ok = true
+							break
+						}
+						if ch == c {
+							break
+						}
 					}
 				}
 			}
-			if !ok {
-				continue
+			if ok && matches(st, n) {
+				g = append(g, n)
 			}
-			good := true
+		}
+		if st.Axis == PrecedingSibling {
+			for i, j := 0, len(g)-1; i < j; i, j = i+1, j-1 {
+				g[i], g[j] = g[j], g[i]
+			}
+		}
+		return g
+	}
+	// ctx holds context nodes of the previous step (nil = document).
+	contexts := []*xmltree.Node{nil}
+	for _, st := range p.Steps {
+		set := map[*xmltree.Node]bool{}
+		for _, c := range contexts {
+			g := group(st, c)
 			for _, pr := range st.Preds {
-				if !refPred(n, pr) {
-					good = false
-					break
+				var kept []*xmltree.Node
+				size := len(g)
+				for i, n := range g {
+					if refPred(n, i+1, size, pr) {
+						kept = append(kept, n)
+					}
 				}
+				g = kept
 			}
-			if good {
-				next[n] = true
+			for _, n := range g {
+				set[n] = true
 			}
 		}
-		delete(next, nil)
-		ctx = next
-	}
-	var out []*xmltree.Node
-	for _, n := range all { // document order
-		if ctx[n] {
-			out = append(out, n)
+		contexts = contexts[:0]
+		for _, n := range all { // document order
+			if set[n] {
+				contexts = append(contexts, n)
+			}
+		}
+		if len(contexts) == 0 {
+			return nil
 		}
 	}
-	return out
+	return contexts
 }
 
-func refPred(ctx *xmltree.Node, e Expr) bool {
+func refPred(ctx *xmltree.Node, pos, size int, e Expr) bool {
 	switch x := e.(type) {
 	case OrExpr:
-		return refPred(ctx, x.Left) || refPred(ctx, x.Right)
+		return refPred(ctx, pos, size, x.Left) || refPred(ctx, pos, size, x.Right)
 	case AndExpr:
-		return refPred(ctx, x.Left) && refPred(ctx, x.Right)
+		return refPred(ctx, pos, size, x.Left) && refPred(ctx, pos, size, x.Right)
 	case ExistsExpr:
 		return len(EvalRelative(ctx, x.Path)) > 0
 	case EqExpr:
@@ -98,63 +143,33 @@ func refPred(ctx *xmltree.Node, e Expr) bool {
 				return true
 			}
 		}
+	case PosExpr:
+		return pos == x.N
+	case LastExpr:
+		return pos == size
+	case CountExpr:
+		return x.Op.Holds(len(EvalRelative(ctx, x.Path)), x.N)
+	case ContainsExpr:
+		for _, n := range EvalRelative(ctx, x.Path) {
+			if matchesLit(n.StringValue(), x.Lit, x.Prefix) {
+				return true
+			}
+		}
 	}
 	return false
 }
 
 // TestEvalMatchesReference compares the evaluator with the reference on
-// random documents and random paths.
+// random documents and random paths over the widened grammar.
 func TestEvalMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	labels := []string{"a", "b", "c"}
-	var build func(lvl int) string
-	build = func(lvl int) string {
-		l := labels[rng.Intn(len(labels))]
-		s := "<" + l + ">"
-		if rng.Intn(4) == 0 {
-			s += "5"
-		}
-		if lvl < 4 {
-			for i := 0; i < rng.Intn(3); i++ {
-				s += build(lvl + 1)
-			}
-		}
-		return s + "</" + l + ">"
-	}
-	randPath := func() string {
-		var sb strings.Builder
-		steps := 1 + rng.Intn(3)
-		for i := 0; i < steps; i++ {
-			if rng.Intn(2) == 0 {
-				sb.WriteString("/")
-			} else {
-				sb.WriteString("//")
-			}
-			name := labels[rng.Intn(len(labels))]
-			if rng.Intn(5) == 0 {
-				name = "*"
-			}
-			sb.WriteString(name)
-			if rng.Intn(4) == 0 {
-				switch rng.Intn(3) {
-				case 0:
-					fmt.Fprintf(&sb, "[%s]", labels[rng.Intn(3)])
-				case 1:
-					fmt.Fprintf(&sb, "[%s='5']", labels[rng.Intn(3)])
-				case 2:
-					fmt.Fprintf(&sb, "[%s or %s]", labels[rng.Intn(3)], labels[rng.Intn(3)])
-				}
-			}
-		}
-		return sb.String()
-	}
-	for trial := 0; trial < 400; trial++ {
-		src := "<r>" + build(1) + build(1) + "</r>"
+	for trial := 0; trial < 1200; trial++ {
+		src := RandomDoc(rng)
 		d, err := xmltree.ParseString(src)
 		if err != nil {
 			t.Fatal(err)
 		}
-		expr := randPath()
+		expr := RandomQuery(rng)
 		p, err := Parse(expr)
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", expr, err)

@@ -13,7 +13,13 @@ func FuzzParse(f *testing.F) {
 		"/a/*/b/text()",
 		"//item[description][name='i1']",
 		"/a[b=1.5]//c",
+		"/a/following-sibling::b/preceding-sibling::*",
+		"/a[2]/b[last()]",
+		"//a[count(b)>=2][1]",
+		"//a[contains(text(),'x') or starts-with(@id,'p')]",
+		"/a[count(//b)!=0]",
 		"//", "[", "/a[", "/a]b", `/a[@x='`,
+		"//following-sibling::a", "/a[count(b)]", "/a[contains(b)]",
 	} {
 		f.Add(seed)
 	}

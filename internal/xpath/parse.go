@@ -2,6 +2,7 @@ package xpath
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -114,6 +115,21 @@ func (p *parser) parsePath(relative bool) (Path, error) {
 
 func (p *parser) parseStep(axis Axis) (Step, error) {
 	p.skipSpace()
+	// Explicit sibling axes replace the abbreviated axis: they only make
+	// sense after "/" (a "//" prefix would compose descendant-or-self with
+	// a sibling move, which the dialect does not define).
+	switch {
+	case p.eat("following-sibling::"):
+		if axis != Child {
+			return Step{}, fmt.Errorf("xpath: following-sibling:: must follow /, not //")
+		}
+		axis = FollowingSibling
+	case p.eat("preceding-sibling::"):
+		if axis != Child {
+			return Step{}, fmt.Errorf("xpath: preceding-sibling:: must follow /, not //")
+		}
+		axis = PrecedingSibling
+	}
 	st := Step{Axis: axis}
 	switch {
 	case p.eat("text()"):
@@ -234,6 +250,24 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		return e, nil
 	}
+	// A bare integer is a positional test. Digits followed by further name
+	// runes fall through to the path case (labels may contain digits).
+	if n, ok := p.tryInteger(); ok {
+		return PosExpr{N: n}, nil
+	}
+	// Function-call primaries: an identifier immediately followed by "(".
+	if p.eat("last()") {
+		return LastExpr{}, nil
+	}
+	if p.eat("count(") {
+		return p.parseCount()
+	}
+	if p.eat("contains(") {
+		return p.parseContains(false)
+	}
+	if p.eat("starts-with(") {
+		return p.parseContains(true)
+	}
 	// A relative path, optionally compared to a literal.
 	path, err := p.parsePath(true)
 	if err != nil {
@@ -251,6 +285,89 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return EqExpr{Path: path, Lit: lit}, nil
 	}
 	return ExistsExpr{Path: path}, nil
+}
+
+// tryInteger consumes a run of digits only when it forms a whole token (the
+// next rune is not a name rune), so element names starting with digits keep
+// parsing as paths.
+func (p *parser) tryInteger() (int, bool) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start || (p.pos < len(p.src) && isNameRune(rune(p.src[p.pos]))) {
+		p.pos = start
+		return 0, false
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		p.pos = start
+		return 0, false
+	}
+	return n, true
+}
+
+// parseCount finishes "count(" path ")" cmp int.
+func (p *parser) parseCount() (Expr, error) {
+	path, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: count() needs a path at %q", p.rest())
+	}
+	p.skipSpace()
+	if !p.eat(")") {
+		return nil, fmt.Errorf("xpath: missing ) in count at %q", p.rest())
+	}
+	p.skipSpace()
+	var op CmpOp
+	switch {
+	case p.eat("!="):
+		op = CmpNe
+	case p.eat("<="):
+		op = CmpLe
+	case p.eat(">="):
+		op = CmpGe
+	case p.eat("<"):
+		op = CmpLt
+	case p.eat(">"):
+		op = CmpGt
+	case p.eat("="):
+		op = CmpEq
+	default:
+		return nil, fmt.Errorf("xpath: count() needs a comparison at %q", p.rest())
+	}
+	p.skipSpace()
+	n, ok := p.tryInteger()
+	if !ok {
+		return nil, fmt.Errorf("xpath: count() compares to an integer, at %q", p.rest())
+	}
+	return CountExpr{Path: path, Op: op, N: n}, nil
+}
+
+// parseContains finishes "contains(" path "," literal ")" (or starts-with).
+func (p *parser) parseContains(prefix bool) (Expr, error) {
+	path, err := p.parsePath(true)
+	if err != nil {
+		return nil, err
+	}
+	if len(path.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: expected path argument at %q", p.rest())
+	}
+	p.skipSpace()
+	if !p.eat(",") {
+		return nil, fmt.Errorf("xpath: missing , at %q", p.rest())
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eat(")") {
+		return nil, fmt.Errorf("xpath: missing ) at %q", p.rest())
+	}
+	return ContainsExpr{Path: path, Lit: lit, Prefix: prefix}, nil
 }
 
 func (p *parser) parseLiteral() (string, error) {

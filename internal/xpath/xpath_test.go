@@ -233,6 +233,157 @@ func TestIsLinearAndDeweySteps(t *testing.T) {
 	}
 }
 
+func TestEvalSiblingAxes(t *testing.T) {
+	d := doc(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"/site/people/following-sibling::regions", 1},
+		{"/site/people/following-sibling::*", 2},
+		{"/site/open_auctions/preceding-sibling::*", 2},
+		{"//bidder/following-sibling::bidder", 1},
+		{"//bidder/following-sibling::reserve", 1},
+		{"//reserve/preceding-sibling::bidder", 1},
+		{"//person/following-sibling::person", 2}, // person1, person2 (deduped)
+		{"/site/following-sibling::*", 0},         // root has no siblings
+	}
+	for _, c := range cases {
+		if got := evalCount(t, d, c.expr); got != c.want {
+			t.Errorf("%s: got %d want %d", c.expr, got, c.want)
+		}
+	}
+	// preceding-sibling groups are nearest-first: [1] is the closest one.
+	got := Eval(d, MustParse("/site/open_auctions/preceding-sibling::*[1]"))
+	if len(got) != 1 || got[0].Label != "regions" {
+		t.Fatalf("nearest preceding sibling = %v", labels(got))
+	}
+}
+
+func TestEvalPositional(t *testing.T) {
+	d := doc(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"/site/people/person[1]", 1},
+		{"/site/people/person[3]", 1},
+		{"/site/people/person[4]", 0},
+		{"/site/people/person[last()]", 1},
+		// A descendant step forms one match group per context node; for a
+		// leading "//" the context is the virtual document node, so the
+		// group spans the whole document (unlike standard abbreviated XPath,
+		// where //x[1] re-groups per parent).
+		{"//bidder[1]", 1},
+		{"//bidder[last()]", 1},
+		{"//open_auction/bidder[1]", 2},      // first bidder of each auction
+		{"//open_auction/bidder[last()]", 2}, // last bidder of each auction
+		{"//person[phone][1]", 1},
+		{"//person[homepage][1]", 1},
+	}
+	for _, c := range cases {
+		if got := evalCount(t, d, c.expr); got != c.want {
+			t.Errorf("%s: got %d want %d", c.expr, got, c.want)
+		}
+	}
+	// Positions re-index after earlier predicates: person[homepage][1] is
+	// Bob (the first person having a homepage), not person0.
+	got := Eval(d, MustParse("//person[homepage][1]/@id"))
+	if len(got) != 1 || got[0].Value != "person1" {
+		t.Fatalf("person[homepage][1] = %v", got)
+	}
+	last := Eval(d, MustParse("/site/people/person[last()]/@id"))
+	if len(last) != 1 || last[0].Value != "person2" {
+		t.Fatalf("person[last()] = %v", last)
+	}
+}
+
+func TestEvalFunctions(t *testing.T) {
+	d := doc(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{"//open_auction[count(bidder)=2]", 1},
+		{"//open_auction[count(bidder)=1]", 1},
+		{"//open_auction[count(bidder)>=1]", 2},
+		{"//open_auction[count(bidder)>2]", 0},
+		{"//open_auction[count(bidder)!=2]", 1},
+		{"//person[count(profile/age)<1]", 2},
+		{"//person[contains(name,'n')]", 1}, // Ann
+		{"//person[contains(@id,'person')]", 3},
+		{"//person[starts-with(name,'B')]", 1}, // Bob
+		{"//person[starts-with(name,'n')]", 0},
+		{"//item[contains(description,'d0')]", 1},
+	}
+	for _, c := range cases {
+		if got := evalCount(t, d, c.expr); got != c.want {
+			t.Errorf("%s: got %d want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestParseWidenedGrammarErrors(t *testing.T) {
+	bad := []string{
+		"//following-sibling::a",   // sibling axis after //
+		"/a//preceding-sibling::b", // ditto
+		"/a[count(b)]",             // count without comparison
+		"/a[count(b)=]",            // missing integer
+		"/a[contains(b)]",          // missing literal argument
+		"/a[starts-with(b,'x'",     // unterminated
+		"/a[0x]",                   // digits then name runes: path "0x" is fine, keep it valid? no — 0x is a name
+	}
+	for _, e := range bad[:6] {
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q) should fail", e)
+		}
+	}
+	// Digits followed by name runes parse as an element name, not a position.
+	p, err := Parse("/a[0x]")
+	if err != nil {
+		t.Fatalf("Parse(/a[0x]): %v", err)
+	}
+	if _, ok := p.Steps[0].Preds[0].(ExistsExpr); !ok {
+		t.Fatalf("/a[0x] predicate = %T, want ExistsExpr", p.Steps[0].Preds[0])
+	}
+}
+
+func TestWidenedRoundTrip(t *testing.T) {
+	exprs := []string{
+		"/site/people/following-sibling::regions",
+		"/a/preceding-sibling::*[1]",
+		"/site/people/person[2]",
+		"//bidder[last()]",
+		"//open_auction[count(bidder)>=2]",
+		"//person[contains(name,\"n\")]",
+		"//person[starts-with(@id,\"p\")]",
+		"//a[count(//b)!=0]",
+		"//a[contains(b/c,\"x\") and 1]",
+	}
+	for _, e := range exprs {
+		p, err := Parse(e)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", e, err)
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", e, p.String(), err)
+		}
+		if p2.String() != p.String() {
+			t.Fatalf("unstable print: %q vs %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestSiblingAxesNotDewey(t *testing.T) {
+	if _, ok := MustParse("/a/following-sibling::b").DeweySteps(); ok {
+		t.Fatal("sibling paths must not convert to Dewey label paths")
+	}
+	if MustParse("/a/preceding-sibling::b").IsLinear() != true {
+		t.Fatal("sibling step without predicates is still linear")
+	}
+}
+
 func TestNumberLiteral(t *testing.T) {
 	d := doc(t)
 	p, err := Parse("//open_auction[reserve=10]")
