@@ -85,6 +85,7 @@ func run() error {
 	compactRecovery := flag.Bool("compact-recovery", false, "durable mode: compact the replay tail with the PUL reduction rules")
 	verifyRecovery := flag.Bool("verify-recovery", false, "open -data-dir, report what recovery did, verify every view against a fresh evaluation, and exit")
 	listenAddr := flag.String("listen", "", "serve the query/update HTTP API on this address (e.g. :8080) until interrupted")
+	followURL := flag.String("follow", "", "follower mode: tail the leader at this base URL and serve reads at the applied LSN (requires -listen)")
 	queueDepth := flag.Int("queue-depth", 64, "-listen mode: bounded apply-queue depth (full queue rejects with 429)")
 	maxBatch := flag.Int("max-batch", 0, "-listen mode: cap on queued statements the writer translates into one propagation pass (0 = default 32, 1 = per-statement)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "-listen mode: per-request deadline for updates")
@@ -106,6 +107,23 @@ func run() error {
 		}
 		defer shutdown()
 		fmt.Printf("serving pprof/expvar on %s\n", *serveAddr)
+	}
+
+	if *followURL != "" {
+		if *listenAddr == "" {
+			return fmt.Errorf("-follow requires -listen (a follower exists to serve reads)")
+		}
+		if *dataDir != "" {
+			return fmt.Errorf("-follow keeps no -data-dir: the leader owns the durable state")
+		}
+		if flag.NArg() > 0 {
+			return fmt.Errorf("-follow accepts no statements: followers are read-only")
+		}
+		return runFollow(ctx, listenConfig{
+			addr:           *listenAddr,
+			requestTimeout: *requestTimeout,
+			drainTimeout:   *drainTimeout,
+		}, *followURL, *policy)
 	}
 
 	if *listenAddr != "" {

@@ -9,7 +9,9 @@ import (
 	"strings"
 	"time"
 
+	"xivm/internal/client"
 	"xivm/internal/pattern"
+	"xivm/internal/repl"
 	"xivm/internal/server"
 	"xivm/internal/update"
 	"xivm/internal/view"
@@ -166,6 +168,68 @@ func runListen(ctx context.Context, lc listenConfig, cfg durableConfig) error {
 		fmt.Printf("db %-12s drained at epoch %d\n", st.Name, st.Version)
 	}
 	return nil
+}
+
+// runFollow is the -follow mode: a read-only follower. It builds a follower
+// registry (no data dir — the leader owns the durable state), starts a
+// replication fleet that discovers the leader's tenants and tails each one
+// (snapshot-first catch-up, then WAL-frame streaming with CRC
+// re-verification), and serves every read endpoint at the applied LSN.
+// Writes are rejected with 403 read_only pointing at the leader. Shutdown
+// stops the HTTP listener, then the tailers.
+func runFollow(ctx context.Context, lc listenConfig, leaderURL, policy string) error {
+	eopts, err := policyOptions(policy)
+	if err != nil {
+		return err
+	}
+	reg, err := server.NewRegistry(server.RegistryConfig{
+		Shard:      server.Config{RequestTimeout: lc.requestTimeout},
+		FollowerOf: leaderURL,
+		WAL:        wal.Options{Engine: eopts},
+	})
+	if err != nil {
+		return err
+	}
+
+	fctx, fcancel := context.WithCancel(context.Background())
+	fleet := repl.NewFleet(client.New(leaderURL), reg, repl.Options{Engine: eopts})
+	fleetDone := make(chan struct{})
+	go func() {
+		defer close(fleetDone)
+		_ = fleet.Run(fctx)
+	}()
+
+	ln, err := net.Listen("tcp", lc.addr)
+	if err != nil {
+		fcancel()
+		<-fleetDone
+		return err
+	}
+	hs := &http.Server{Handler: reg.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Printf("serving read-only follower API on %s (leader %s)\n", ln.Addr(), leaderURL)
+
+	var srvErr error
+	select {
+	case srvErr = <-serveErr:
+	case <-ctx.Done():
+	}
+	fmt.Println("\nshutting down: draining requests and stopping tailers…")
+	dctx, cancel := context.WithTimeout(context.Background(), lc.drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "xivm: http drain:", err)
+	}
+	fcancel()
+	<-fleetDone
+	if err := reg.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "xivm: registry drain:", err)
+	}
+	for _, st := range reg.Stats() {
+		fmt.Printf("db %-12s stopped at applied lsn %d (epoch %d)\n", st.Name, st.AppliedLSN, st.Version)
+	}
+	return srvErr
 }
 
 type namedPattern struct {

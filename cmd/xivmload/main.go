@@ -8,6 +8,13 @@
 //
 //	xivmload -addr http://localhost:8080 [-tenants 4] [-readers 8] [-writers 2] [-duration 10s]
 //	xivmload -selfserve [-tenants 8] [-scale 1] [-burst 32] [-max-batch 32] …
+//	xivmload -addr http://leader:8080 -follower-url http://follower:8081 …
+//
+// With -follower-url the read fraction targets a read-only follower
+// (xivm -follow) while writes go to the leader at -addr; the report then
+// splits latency per target and includes the maximum replication lag (in
+// LSNs) sampled from the follower's repl/status during the run. -verify in
+// this mode waits for the follower to converge before asserting.
 //
 // With -tenants N the tool creates databases t0…tN-1 through the admin
 // plane (existing ones are reused) and spreads readers and writers across
@@ -148,6 +155,7 @@ func run() error {
 	burst := flag.Int("burst", 0, "bursty writers: one writer per database fires N concurrent distinct-target inserts per wave and waits for every ack (0: steady -writers mix)")
 	maxBatch := flag.Int("max-batch", 0, "-selfserve: shard batch cap (0: server default 32; 1: disable batching)")
 	verify := flag.Bool("verify", false, "after load, probe each database for read-your-writes and cross-tenant isolation")
+	followerURL := flag.String("follower-url", "", "direct the read fraction at this read-only follower while writes go to the leader at -addr; reports per-target latency and the max replication lag observed")
 	xpathFrac := flag.Float64("xpath-frac", 0.5, "fraction of reads that are XPath queries rather than view reads (0..1)")
 	flag.Var(&stmts, "stmt", "update statement for writers (repeatable; default: built-in XMark mix)")
 	flag.Var(&queries, "xpath", "XPath query for readers (repeatable; default: built-in XMark queries)")
@@ -214,16 +222,23 @@ func run() error {
 	}
 
 	// Two clients: readers retry 429s transparently (there should be none),
-	// writers surface them so backpressure is counted, not hidden.
-	rc := client.New(base)
+	// writers surface them so backpressure is counted, not hidden. With
+	// -follower-url the readers target the follower instead — writes (and
+	// the admin plane) always address the leader.
+	readBase := base
+	if *followerURL != "" {
+		readBase = strings.TrimRight(*followerURL, "/")
+	}
+	leader := client.New(base)
+	rc := client.New(readBase)
 	wc := client.New(base, client.WithRetries(0))
-	dbNames, err := resolveTargets(ctx, rc, *tenants)
+	dbNames, err := resolveTargets(ctx, leader, *tenants)
 	if err != nil {
 		return err
 	}
 	targets := make([]target, 0, len(dbNames))
 	for _, name := range dbNames {
-		vr, err := rc.DB(name).Views(ctx)
+		vr, err := leader.DB(name).Views(ctx)
 		if err != nil {
 			return fmt.Errorf("db %s: %w", name, err)
 		}
@@ -233,6 +248,14 @@ func run() error {
 		}
 		targets = append(targets, t)
 	}
+	if *followerURL != "" {
+		// A freshly started follower attaches tenants as its tailers finish
+		// snapshot-first catch-up; wait until every target serves reads.
+		if err := waitFollower(ctx, rc, dbNames, 15*time.Second); err != nil {
+			return err
+		}
+		fmt.Printf("reads → %s (follower), writes → %s (leader)\n", readBase, base)
+	}
 	fmt.Printf("targeting %s: %d databases (%s), %d readers, %d writers, %v\n",
 		base, len(targets), strings.Join(dbNames, " "), *readers, *writers, *duration)
 
@@ -241,7 +264,7 @@ func run() error {
 		// wave never trips the planner's same-target conflict rule.
 		for _, t := range targets {
 			for j := 0; j < *burst; j++ {
-				if _, err := rc.DB(t.name).Update(ctx, fmt.Sprintf(`insert <bp%d/> into /site/people`, j)); err != nil {
+				if _, err := leader.DB(t.name).Update(ctx, fmt.Sprintf(`insert <bp%d/> into /site/people`, j)); err != nil {
 					return fmt.Errorf("burst setup %s: %w", t.name, err)
 				}
 			}
@@ -253,6 +276,30 @@ func run() error {
 	defer cancel()
 
 	var wg sync.WaitGroup
+	var maxLag atomic.Int64
+	if *followerURL != "" {
+		// Sample the follower's replication position throughout the run; the
+		// max of (leader tip − applied) over all targets is the lag a reader
+		// could actually have observed.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				for _, name := range dbNames {
+					st, err := rc.DB(name).ReplStatus(runCtx)
+					if err == nil && st.LastLSN > st.AppliedLSN {
+						if lag := int64(st.LastLSN - st.AppliedLSN); lag > maxLag.Load() {
+							maxLag.Store(lag)
+						}
+					}
+				}
+				select {
+				case <-runCtx.Done():
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+		}()
+	}
 	for r := 0; r < *readers; r++ {
 		wg.Add(1)
 		go func(r int) {
@@ -308,9 +355,18 @@ func run() error {
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n%v elapsed\n", elapsed.Round(time.Millisecond))
+	if *followerURL != "" {
+		fmt.Fprintf(&b, "reads (follower %s):\n", readBase)
+	}
 	readStats.report(&b, "views", elapsed)
 	xpathStats.report(&b, "xpath", elapsed)
+	if *followerURL != "" {
+		fmt.Fprintf(&b, "writes (leader %s):\n", base)
+	}
 	writeStats.report(&b, "updates", elapsed)
+	if *followerURL != "" {
+		fmt.Fprintf(&b, "max observed replication lag: %d LSN(s)\n", maxLag.Load())
+	}
 	fmt.Print(b.String())
 
 	if n := readStats.errors.Load() + xpathStats.errors.Load() + writeStats.errors.Load(); n > 0 {
@@ -321,10 +377,37 @@ func run() error {
 			readStats.count.Load()+xpathStats.count.Load(), writeStats.count.Load())
 	}
 	if *verify {
-		if err := verifyIsolation(ctx, rc, dbNames); err != nil {
+		var converge time.Duration
+		if *followerURL != "" {
+			// Read-your-writes does not hold across the replication boundary;
+			// give the follower a convergence window before asserting.
+			converge = 15 * time.Second
+		}
+		if err := verifyIsolation(ctx, leader, rc, dbNames, converge); err != nil {
 			return err
 		}
 		fmt.Printf("verified: read-your-writes and isolation across %d databases\n", len(dbNames))
+	}
+	return nil
+}
+
+// waitFollower polls the follower until every target database is attached
+// and serving reads (its tailer finished snapshot-first catch-up).
+func waitFollower(ctx context.Context, rc *client.Client, names []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, name := range names {
+		for {
+			if _, err := rc.DB(name).Views(ctx); err == nil {
+				break
+			} else if time.Now().After(deadline) {
+				return fmt.Errorf("follower never attached db %s: %w", name, err)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
 	}
 	return nil
 }
@@ -366,20 +449,40 @@ func resolveTargets(ctx context.Context, c *client.Client, n int) ([]string, err
 	return names, nil
 }
 
-// verifyIsolation inserts a uniquely tagged element into every database,
-// then checks read-your-writes (the tag is visible where written) and
-// cross-tenant isolation (it is visible nowhere else).
-func verifyIsolation(ctx context.Context, c *client.Client, names []string) error {
+// verifyIsolation inserts a uniquely tagged element into every database via
+// wc (the leader), then checks read-your-writes (the tag is visible where
+// written) and cross-tenant isolation (it is visible nowhere else) via rc —
+// the same server, or a follower given a convergence window first.
+func verifyIsolation(ctx context.Context, wc, rc *client.Client, names []string, converge time.Duration) error {
 	probe := func(name string) string { return fmt.Sprintf("/site/probe-%s", name) }
 	for _, name := range names {
 		stmt := fmt.Sprintf(`insert <probe-%s/> into /site`, name)
-		if _, err := c.DB(name).Update(ctx, stmt); err != nil {
+		if _, err := wc.DB(name).Update(ctx, stmt); err != nil {
 			return fmt.Errorf("verify %s: %w", name, err)
+		}
+	}
+	if converge > 0 {
+		deadline := time.Now().Add(converge)
+		for _, name := range names {
+			for {
+				xr, err := rc.DB(name).XPath(ctx, probe(name))
+				if err == nil && len(xr.Matches) == 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return fmt.Errorf("verify %s: probe never converged on the follower", name)
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
 		}
 	}
 	for _, name := range names {
 		for _, other := range names {
-			xr, err := c.DB(name).XPath(ctx, probe(other))
+			xr, err := rc.DB(name).XPath(ctx, probe(other))
 			if err != nil {
 				return fmt.Errorf("verify %s: %w", name, err)
 			}

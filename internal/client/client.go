@@ -258,3 +258,66 @@ func (d *DB) Metrics(ctx context.Context) (server.TenantMetricsResponse, error) 
 	err := d.c.do(ctx, http.MethodGet, d.path+"/metrics", nil, &out)
 	return out, err
 }
+
+// ReplStatus fetches the database's replication position
+// (GET /v1/db/{name}/repl/status).
+func (d *DB) ReplStatus(ctx context.Context) (server.ReplStatusResponse, error) {
+	var out server.ReplStatusResponse
+	err := d.c.do(ctx, http.MethodGet, d.path+"/repl/status", nil, &out)
+	return out, err
+}
+
+// ReplSnapshot fetches the newest checkpoint image for snapshot-first
+// catch-up (GET /v1/db/{name}/repl/snapshot). The caller must verify it
+// with wal.NewReplImage before trusting any byte of it.
+func (d *DB) ReplSnapshot(ctx context.Context) (server.ReplSnapshotResponse, error) {
+	var out server.ReplSnapshotResponse
+	err := d.c.do(ctx, http.MethodGet, d.path+"/repl/snapshot", nil, &out)
+	return out, err
+}
+
+// ReplFrames is one stream read: raw WAL frames from LSN from (up to
+// maxBytes when positive), plus the next LSN to request and the leader's
+// log tip at serve time. followerID, when non-empty, pins the leader's log
+// suffix against truncation while this follower tails
+// (GET /v1/db/{name}/repl/stream?from=…). A server answer of 410
+// snapshot_required surfaces as an *APIError with that code: re-sync via
+// ReplSnapshot.
+func (d *DB) ReplFrames(ctx context.Context, from uint64, maxBytes int, followerID string) (frames []byte, next, leaderLast uint64, err error) {
+	path := d.path + "/repl/stream?from=" + strconv.FormatUint(from, 10)
+	if maxBytes > 0 {
+		path += "&max_bytes=" + strconv.Itoa(maxBytes)
+	}
+	if followerID != "" {
+		path += "&follower=" + url.QueryEscape(followerID)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.c.base+path, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := d.c.hc.Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr, derr := decode(resp, nil)
+		if derr != nil {
+			return nil, 0, 0, derr
+		}
+		return nil, 0, 0, apiErr
+	}
+	defer resp.Body.Close()
+	frames, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	next, err = strconv.ParseUint(resp.Header.Get(server.HeaderReplNext), 10, 64)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("xivm api: bad %s header: %w", server.HeaderReplNext, err)
+	}
+	leaderLast, err = strconv.ParseUint(resp.Header.Get(server.HeaderReplLast), 10, 64)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("xivm api: bad %s header: %w", server.HeaderReplLast, err)
+	}
+	return frames, next, leaderLast, nil
+}

@@ -136,6 +136,14 @@ func (e *Engine) Version() uint64 { return e.version.Load() }
 // the document calls it after the document and store are consistent.
 func (e *Engine) bumpVersion() { e.version.Add(1) }
 
+// SetVersion overwrites the version counter. It exists for state restore
+// paths — WAL recovery and replication catch-up seed a freshly built engine
+// with the version recorded in the checkpoint manifest, so that replaying
+// the same statement suffix reproduces not just the same document and views
+// but the same version numbers a reader of the original engine saw. Never
+// call it on an engine that is already serving.
+func (e *Engine) SetVersion(v uint64) { e.version.Store(v) }
+
 // ManagedView is one materialized view under maintenance.
 type ManagedView struct {
 	Name    string

@@ -1,0 +1,81 @@
+package repl
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"xivm/internal/client"
+	"xivm/internal/server"
+)
+
+// Fleet replicates every tenant of one leader: it polls the leader's admin
+// plane, starts a Follower per discovered tenant, and stops (and unroutes)
+// followers whose tenant the leader dropped. One Fleet per follower process.
+type Fleet struct {
+	c    *client.Client
+	reg  *server.Registry
+	opts Options
+
+	// Rediscover is the admin-plane poll cadence (default 2s).
+	Rediscover time.Duration
+}
+
+// NewFleet builds a fleet over the leader client and follower registry.
+func NewFleet(c *client.Client, reg *server.Registry, opts Options) *Fleet {
+	return &Fleet{c: c, reg: reg, opts: opts}
+}
+
+func (fl *Fleet) rediscover() time.Duration {
+	if fl.Rediscover <= 0 {
+		return 2 * time.Second
+	}
+	return fl.Rediscover
+}
+
+// Run discovers and follows tenants until ctx is cancelled, then waits for
+// every tailer to stop. Discovery errors (leader down) are retried at the
+// rediscovery cadence; existing tailers keep their own backoff loops.
+func (fl *Fleet) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	cancels := make(map[string]context.CancelFunc)
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+		wg.Wait()
+	}()
+	t := time.NewTicker(fl.rediscover())
+	defer t.Stop()
+	for {
+		if stats, err := fl.c.ListDBs(ctx); err == nil {
+			live := make(map[string]bool, len(stats))
+			for _, st := range stats {
+				live[st.Name] = true
+				if _, ok := cancels[st.Name]; ok {
+					continue
+				}
+				fctx, cancel := context.WithCancel(ctx)
+				cancels[st.Name] = cancel
+				f := NewFollower(fl.c, fl.reg, st.Name, fl.opts)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = f.Run(fctx)
+				}()
+			}
+			for name, cancel := range cancels {
+				if !live[name] {
+					cancel()
+					delete(cancels, name)
+					fl.reg.DropReplica(name)
+				}
+			}
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package repl is the follower half of WAL-shipping replication: it tails a
+// leader's per-tenant log stream (internal/server's /v1/db/{name}/repl/…
+// endpoints) and maintains read-only replica shards that serve every read
+// endpoint at the follower's applied LSN.
+//
+// One Follower replicates one tenant:
+//
+//   - Catch-up is snapshot-first: the tailer fetches the leader's newest
+//     checkpoint image, re-verifies every byte of it (manifest decode, doc
+//     and view content hashes — wal.NewReplImage runs the same checks the
+//     leader's own recovery does), restores an engine from it, and attaches
+//     a replica shard at the checkpoint's LSN.
+//
+//   - It then tails the stream: each poll fetches raw WAL frames from
+//     applied+1, CRC-verifies and decodes them (wal.DecodeFrames rejects the
+//     whole read on any torn or corrupt frame — network data is never
+//     partially applied), replays the records through the normal core apply
+//     path, and publishes one epoch per applied batch. Statement runs are
+//     batched through pulopt.PlanBatch exactly like a leader's writer loop;
+//     any gate rejection falls back to per-statement application, which is
+//     equivalent — the engine version is a pure function of the statement
+//     sequence, so a follower that batches differently than its leader still
+//     converges byte-identically.
+//
+//   - Records that fail to parse or that the engine rejects are skipped,
+//     mirroring recovery's replay semantics (they had no effect on the
+//     leader either); a batch that part-applies forces a snapshot re-sync
+//     rather than guessing at the boundary.
+//
+//   - Transport errors reconnect with jittered exponential backoff and
+//     resume from the last-applied LSN. A 410 snapshot_required answer
+//     (the leader truncated past our position) re-runs snapshot-first
+//     catch-up on a fresh engine and re-attaches the shard; the stale epoch
+//     keeps serving reads meanwhile.
+//
+// A Fleet runs one Follower per leader tenant, discovering creates and
+// drops by polling the leader's admin plane.
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xivm/internal/client"
+	"xivm/internal/core"
+	"xivm/internal/obs"
+	"xivm/internal/pattern"
+	"xivm/internal/pulopt"
+	"xivm/internal/server"
+	"xivm/internal/update"
+	"xivm/internal/wal"
+)
+
+// Options tunes followers. The zero value selects the defaults noted on
+// each field.
+type Options struct {
+	// PollInterval is how long a caught-up tailer waits before asking the
+	// leader for more frames (default 100ms).
+	PollInterval time.Duration
+	// MaxBytes caps one stream read (default 1MiB). The leader always ships
+	// at least one frame regardless.
+	MaxBytes int
+	// MaxBatch caps how many consecutive statements are replayed through one
+	// PlanBatch translation (default 32; 1 disables batching).
+	MaxBatch int
+	// MinBackoff/MaxBackoff bound the jittered exponential reconnect backoff
+	// (defaults 50ms / 3s).
+	MinBackoff, MaxBackoff time.Duration
+	// Metrics selects the registry for the repl.follower.* instruments
+	// (nil = obs.Default()).
+	Metrics *obs.Metrics
+	// Engine configures restored engines (maintenance policy etc.); use the
+	// same options as the leader so per-view strategy choices match.
+	Engine []core.Option
+}
+
+func (o Options) pollInterval() time.Duration {
+	if o.PollInterval <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.PollInterval
+}
+
+func (o Options) maxBytes() int {
+	if o.MaxBytes <= 0 {
+		return 1 << 20
+	}
+	return o.MaxBytes
+}
+
+func (o Options) maxBatch() int {
+	if o.MaxBatch <= 0 {
+		return 32
+	}
+	return o.MaxBatch
+}
+
+func (o Options) minBackoff() time.Duration {
+	if o.MinBackoff <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.MinBackoff
+}
+
+func (o Options) maxBackoff() time.Duration {
+	if o.MaxBackoff <= 0 {
+		return 3 * time.Second
+	}
+	return o.MaxBackoff
+}
+
+// gauge tracks a current value on top of a delta counter. Each follower
+// mutates only from its own tailer goroutine, and distinct followers sharing
+// one flat counter each track their own last-reported value, so the counter
+// always reads as the SUM of the per-follower values (with one tenant,
+// exactly that follower's value).
+type gauge struct {
+	c    *obs.Counter
+	last int64
+}
+
+func (g *gauge) set(v uint64) {
+	n := int64(v)
+	g.c.Add(n - g.last)
+	g.last = n
+}
+
+// followerMetrics are the follower-side instruments:
+//
+//	repl.follower.applied_lsn  Σ per-tenant applied LSN (gauge-via-deltas)
+//	repl.follower.lag_lsn      Σ per-tenant (leader tip − applied) lag
+//	repl.follower.records      log records replayed
+//	repl.follower.batches      statement runs replayed as one translated batch
+//	repl.follower.skipped      records skipped (mirroring recovery semantics)
+//	repl.follower.resyncs      snapshot-first catch-ups (initial + after 410)
+//	repl.follower.reconnects   transport errors that triggered backoff
+type followerMetrics struct {
+	applied    gauge
+	lag        gauge
+	records    *obs.Counter
+	batches    *obs.Counter
+	skipped    *obs.Counter
+	resyncs    *obs.Counter
+	reconnects *obs.Counter
+}
+
+func newFollowerMetrics(reg *obs.Metrics) *followerMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &followerMetrics{
+		applied:    gauge{c: reg.Counter("repl.follower.applied_lsn")},
+		lag:        gauge{c: reg.Counter("repl.follower.lag_lsn")},
+		records:    reg.Counter("repl.follower.records"),
+		batches:    reg.Counter("repl.follower.batches"),
+		skipped:    reg.Counter("repl.follower.skipped"),
+		resyncs:    reg.Counter("repl.follower.resyncs"),
+		reconnects: reg.Counter("repl.follower.reconnects"),
+	}
+}
+
+// errResync is returned inside the tail loop when the follower's engine can
+// no longer be trusted to match the log (a translated batch part-applied)
+// and only a fresh snapshot restores certainty.
+var errResync = errors.New("repl: state uncertain, snapshot re-sync required")
+
+// Follower replicates one tenant from a leader into a follower registry.
+// Create with NewFollower and drive with Run; all state is owned by the
+// single tailer goroutine inside Run.
+type Follower struct {
+	name string
+	id   string // follower identity for leader-side log pinning
+	db   *client.DB
+	reg  *server.Registry
+	opts Options
+	m    *followerMetrics
+
+	eng        *core.Engine
+	sh         *server.Shard
+	applied    uint64
+	leaderLast uint64
+}
+
+// NewFollower builds a tailer for one tenant. c must point at the leader
+// (the registry's FollowerOf URL) and reg must be a follower registry.
+func NewFollower(c *client.Client, reg *server.Registry, tenant string, opts Options) *Follower {
+	return &Follower{
+		name: tenant,
+		id:   fmt.Sprintf("%s-%08x", tenant, rand.Uint32()),
+		db:   c.DB(tenant),
+		reg:  reg,
+		opts: opts,
+		m:    newFollowerMetrics(opts.Metrics),
+	}
+}
+
+// Run tails the leader until ctx is cancelled: snapshot-first catch-up,
+// then the poll loop, re-syncing or backing off as classified errors
+// dictate. It returns ctx.Err().
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.opts.minBackoff()
+	for ctx.Err() == nil {
+		if f.eng == nil {
+			if err := f.resync(ctx); err != nil {
+				if ctx.Err() != nil {
+					break
+				}
+				f.m.reconnects.Inc()
+				f.sleepBackoff(ctx, &backoff)
+				continue
+			}
+			backoff = f.opts.minBackoff()
+		}
+		err := f.pollOnce(ctx)
+		switch {
+		case err == nil:
+			backoff = f.opts.minBackoff()
+		case ctx.Err() != nil:
+		case isSnapshotRequired(err) || errors.Is(err, errResync):
+			// The leader truncated past our position (or our state is
+			// uncertain): run snapshot-first catch-up on a fresh engine. The
+			// current epoch keeps serving reads until the new shard attaches.
+			f.eng = nil
+		default:
+			f.m.reconnects.Inc()
+			f.sleepBackoff(ctx, &backoff)
+		}
+	}
+	return ctx.Err()
+}
+
+// resync is snapshot-first catch-up: fetch the leader's newest checkpoint
+// image, verify every byte, restore an engine, and (re-)attach the replica
+// shard at the image's LSN.
+func (f *Follower) resync(ctx context.Context) error {
+	resp, err := f.db.ReplSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	img, err := wal.NewReplImage(resp.Manifest, resp.Doc, resp.Ords, resp.Views)
+	if err != nil {
+		return fmt.Errorf("repl: verifying snapshot for %s: %w", f.name, err)
+	}
+	eng, err := img.Restore(f.opts.Engine...)
+	if err != nil {
+		return fmt.Errorf("repl: restoring snapshot for %s: %w", f.name, err)
+	}
+	f.eng = eng
+	f.applied = img.Manifest.LSN
+	if f.leaderLast < f.applied {
+		f.leaderLast = f.applied
+	}
+	sh, err := f.reg.NewReplica(f.name, eng, f.applied, f.leaderLast)
+	if err != nil {
+		f.eng = nil
+		return err
+	}
+	f.sh = sh
+	f.m.resyncs.Inc()
+	f.m.applied.set(f.applied)
+	f.m.lag.set(f.leaderLast - f.applied)
+	return nil
+}
+
+// pollOnce is one tail step: fetch frames from applied+1, decode and
+// re-verify them, replay, publish the new epoch. When caught up it naps for
+// the poll interval instead.
+func (f *Follower) pollOnce(ctx context.Context) error {
+	from := f.applied + 1
+	frames, next, last, err := f.db.ReplFrames(ctx, from, f.opts.maxBytes(), f.id)
+	if err != nil {
+		return err
+	}
+	if last > f.leaderLast {
+		f.leaderLast = last
+	}
+	if len(frames) == 0 || next <= from {
+		// Caught up: remember the tip for lag reporting and nap.
+		f.sh.SetLeaderLast(f.leaderLast)
+		f.m.lag.set(f.leaderLast - f.applied)
+		return f.nap(ctx, f.opts.pollInterval())
+	}
+	recs, err := wal.DecodeFrames(frames, from)
+	if err != nil {
+		// Torn or corrupt network read: refetch from the same position.
+		return fmt.Errorf("repl: decoding frames for %s at %d: %w", f.name, from, err)
+	}
+	if err := f.replay(recs); err != nil {
+		return err
+	}
+	f.applied = recs[len(recs)-1].LSN
+	f.sh.PublishReplica(f.eng.Snapshot(), f.applied, f.leaderLast)
+	f.m.applied.set(f.applied)
+	f.m.lag.set(f.leaderLast - f.applied)
+	return nil
+}
+
+// replay applies one decoded batch of records through the engine, batching
+// maximal runs of parseable statements through the pulopt planner and
+// mirroring recovery's skip semantics for everything the planner or engine
+// rejects. Only a part-applied translated batch is an error (errResync).
+func (f *Follower) replay(recs []wal.Record) error {
+	var run []*update.Statement
+	for i := range recs {
+		r := &recs[i]
+		switch r.Kind {
+		case wal.RecordStatement:
+			st, err := update.Parse(r.Statement)
+			if err != nil {
+				// A skipped statement has no effect, so the run can span it.
+				f.m.skipped.Inc()
+				continue
+			}
+			run = append(run, st)
+		case wal.RecordView:
+			// View registration must land at its exact point in the
+			// statement sequence.
+			if err := f.flush(run); err != nil {
+				return err
+			}
+			run = run[:0]
+			p, err := pattern.Parse(r.ViewPattern)
+			if err != nil {
+				f.m.skipped.Inc()
+				continue
+			}
+			if _, err := f.eng.AddView(r.ViewName, p); err != nil {
+				f.m.skipped.Inc()
+				continue
+			}
+			f.m.records.Inc()
+		default:
+			f.m.skipped.Inc()
+		}
+	}
+	return f.flush(run)
+}
+
+// flush replays a run of statements: chunks are first offered to the batch
+// planner; a rejected plan degrades the chunk's first statement to the
+// per-statement path (engine errors skipped, exactly like recovery) and the
+// rest is re-planned. Equivalence holds either way — the planner's gates
+// guarantee a translated chunk produces the sequential state and version.
+func (f *Follower) flush(run []*update.Statement) error {
+	for len(run) > 0 {
+		n := len(run)
+		if max := f.opts.maxBatch(); n > max {
+			n = max
+		}
+		if n > 1 {
+			if plan, err := pulopt.PlanBatch(f.eng, run[:n]); err == nil {
+				if _, applied, err := f.eng.ApplyBatchCtx(context.Background(), plan.Units); err != nil {
+					// A part-applied batch leaves the engine somewhere
+					// between statement boundaries; the only deterministic
+					// recovery is a fresh snapshot.
+					return fmt.Errorf("%w (tenant %s: batch part-applied %d/%d: %v)",
+						errResync, f.name, applied, n, err)
+				}
+				f.m.batches.Inc()
+				f.m.records.Add(int64(n))
+				run = run[n:]
+				continue
+			}
+		}
+		if _, err := f.eng.ApplyStatement(run[0]); err != nil {
+			f.m.skipped.Inc()
+		} else {
+			f.m.records.Inc()
+		}
+		run = run[1:]
+	}
+	return nil
+}
+
+// nap sleeps for d or until ctx is done.
+func (f *Follower) nap(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sleepBackoff sleeps for the current backoff with ±50% jitter (so a fleet
+// of followers does not reconnect in lockstep) and doubles it up to the cap.
+func (f *Follower) sleepBackoff(ctx context.Context, backoff *time.Duration) {
+	d := *backoff
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	_ = f.nap(ctx, d)
+	*backoff *= 2
+	if max := f.opts.maxBackoff(); *backoff > max {
+		*backoff = max
+	}
+}
+
+// isSnapshotRequired reports whether err is the leader's typed 410: the
+// requested LSN was truncated and only a snapshot can resume replication.
+func isSnapshotRequired(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == server.CodeSnapshotRequired
+}

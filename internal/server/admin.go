@@ -49,6 +49,11 @@ func (r *Registry) handleListDBs(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Registry) handleCreateDB(w http.ResponseWriter, req *http.Request) {
+	if leader := r.cfg.FollowerOf; leader != "" {
+		writeErr(w, http.StatusForbidden, CodeReadOnly, "",
+			"read-only follower: create databases on the leader at "+leader)
+		return
+	}
 	var cr CreateDBRequest
 	if err := json.NewDecoder(req.Body).Decode(&cr); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, "", "bad request body: "+err.Error())
@@ -69,6 +74,11 @@ func (r *Registry) handleCreateDB(w http.ResponseWriter, req *http.Request) {
 
 func (r *Registry) handleDropDB(w http.ResponseWriter, req *http.Request) {
 	name := req.PathValue("db")
+	if leader := r.cfg.FollowerOf; leader != "" {
+		writeErr(w, http.StatusForbidden, CodeReadOnly, name,
+			"read-only follower: drop databases on the leader at "+leader)
+		return
+	}
 	if err := r.Drop(req.Context(), name); err != nil {
 		writeLifecycleError(w, name, err)
 		return

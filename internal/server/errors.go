@@ -44,6 +44,11 @@ const (
 	CodeTimeout      = "timeout"       // 504: request deadline expired
 	CodeApplyFailed  = "apply_failed"  // 422: the engine rejected the statement
 	CodeInternal     = "internal"      // 500: everything else
+
+	// Replication codes.
+	CodeReadOnly         = "read_only"         // 403: write sent to a follower; the message names the leader
+	CodeSnapshotRequired = "snapshot_required" // 410: requested LSN truncated; re-sync from the newest checkpoint
+	CodeNoReplication    = "no_replication"    // 404: tenant has no WAL (in-memory), nothing to stream
 )
 
 // ErrorInfo is the body of the uniform error envelope: a machine-readable
@@ -70,6 +75,8 @@ func writeErr(w http.ResponseWriter, status int, code, tenant, message string) {
 // Retry-After, which well-behaved clients (internal/client) honor.
 func writeApplyError(w http.ResponseWriter, tenant string, err error) {
 	switch {
+	case errors.Is(err, ErrReadOnly):
+		writeErr(w, http.StatusForbidden, CodeReadOnly, tenant, err.Error())
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, CodeQueueFull, tenant, err.Error())

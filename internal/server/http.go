@@ -21,8 +21,12 @@ import (
 // HealthResponse answers GET /healthz.
 type HealthResponse struct {
 	Status  string `json:"status"`  // "ok" or "draining"
+	Role    string `json:"role"`    // "leader" or "follower"
 	Tenants int    `json:"tenants"` // databases currently routed
 	Queue   int    `json:"queue"`   // Σ queued updates across tenants
+	// MaxLagLSN is the worst replication lag across tenants: on a follower,
+	// max(last_lsn - applied_lsn); always 0 on a leader.
+	MaxLagLSN uint64 `json:"max_lag_lsn,omitempty"`
 }
 
 // ViewInfo is one view's summary in ViewsResponse.
@@ -145,6 +149,10 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/db/{db}/update", r.handleUpdate)
 	mux.HandleFunc("GET /v1/db/{db}/metrics", r.handleTenantMetrics)
 
+	mux.HandleFunc("GET /v1/db/{db}/repl/status", r.handleReplStatus)
+	mux.HandleFunc("GET /v1/db/{db}/repl/stream", r.handleReplStream)
+	mux.HandleFunc("GET /v1/db/{db}/repl/snapshot", r.handleReplSnapshot)
+
 	mux.HandleFunc("GET /v1/views", deprecatedAlias(r.handleViews))
 	mux.HandleFunc("GET /v1/views/{name}", deprecatedAlias(r.handleView))
 	mux.HandleFunc("GET /v1/xpath", deprecatedAlias(r.handleXPath))
@@ -189,14 +197,22 @@ func (r *Registry) handleHealth(w http.ResponseWriter, req *http.Request) {
 	if r.draining() {
 		status = "draining"
 	}
+	role := "leader"
+	if r.cfg.FollowerOf != "" {
+		role = "follower"
+	}
 	r.mu.RLock()
 	tenants := len(r.shards)
 	queue := 0
+	var maxLag uint64
 	for _, sh := range r.shards {
 		queue += sh.QueueLen()
+		if applied, last := sh.LSNs(); last > applied && last-applied > maxLag {
+			maxLag = last - applied
+		}
 	}
 	r.mu.RUnlock()
-	writeJSON(w, http.StatusOK, HealthResponse{Status: status, Tenants: tenants, Queue: queue})
+	writeJSON(w, http.StatusOK, HealthResponse{Status: status, Role: role, Tenants: tenants, Queue: queue, MaxLagLSN: maxLag})
 }
 
 func (r *Registry) handleViews(w http.ResponseWriter, req *http.Request) {
@@ -282,6 +298,11 @@ func (r *Registry) handleXPath(w http.ResponseWriter, req *http.Request) {
 func (r *Registry) handleUpdate(w http.ResponseWriter, req *http.Request) {
 	sh, ok := r.tenantShard(w, req)
 	if !ok {
+		return
+	}
+	if leader := r.cfg.FollowerOf; leader != "" {
+		writeErr(w, http.StatusForbidden, CodeReadOnly, sh.Name(),
+			"read-only follower: send writes to the leader at "+leader)
 		return
 	}
 	var ur UpdateRequest

@@ -26,6 +26,11 @@ import "xivm/internal/obs"
 //	snapshot.epochs           epochs published
 //	snapshot.rows             cumulative view rows copied into epochs
 //	snapshot.doc.nodes        cumulative document nodes copied into epochs
+//	repl.leader.streams       /repl/stream requests served with frames
+//	repl.leader.frame_bytes   raw frame bytes shipped to followers
+//	repl.leader.snapshots     /repl/snapshot checkpoint images shipped
+//	repl.leader.snapshot_required
+//	                          stream requests answered 410 (LSN truncated)
 //
 // Histograms: server.apply.latency (engine apply time per statement or
 // batch), server.batch.latency (engine apply time per translated batch),
@@ -57,6 +62,10 @@ type serverMetrics struct {
 	epochs            *obs.Counter
 	epochRows         *obs.Counter
 	epochDocNodes     *obs.Counter
+	replStreams       *obs.Counter
+	replFrameBytes    *obs.Counter
+	replSnapshots     *obs.Counter
+	replTruncatedHits *obs.Counter
 
 	applyLatency   *obs.Histogram
 	batchLatency   *obs.Histogram
@@ -90,6 +99,10 @@ func newServerMetrics(reg *obs.Metrics) *serverMetrics {
 		epochs:            reg.Counter("snapshot.epochs"),
 		epochRows:         reg.Counter("snapshot.rows"),
 		epochDocNodes:     reg.Counter("snapshot.doc.nodes"),
+		replStreams:       reg.Counter("repl.leader.streams"),
+		replFrameBytes:    reg.Counter("repl.leader.frame_bytes"),
+		replSnapshots:     reg.Counter("repl.leader.snapshots"),
+		replTruncatedHits: reg.Counter("repl.leader.snapshot_required"),
 		applyLatency:      reg.Histogram("server.apply.latency"),
 		batchLatency:      reg.Histogram("server.batch.latency"),
 		publishLatency:    reg.Histogram("snapshot.publish"),

@@ -51,6 +51,14 @@ type RegistryConfig struct {
 	// serves every tenant and epoch.
 	XPathCacheSize int
 
+	// FollowerOf, when set, makes this a read-only follower registry: its
+	// tenants are replica shards attached by the replication layer
+	// (internal/repl) tailing the leader at this base URL. Updates and
+	// admin-plane writes are rejected with code read_only pointing here.
+	// DataDir must be empty — a follower keeps no log of its own; its
+	// durable state IS the leader's.
+	FollowerOf string
+
 	// wrapBackend, when set, wraps every tenant's backend before the shard
 	// is built — the test seam for gating or failing one tenant's applies.
 	wrapBackend func(tenant string, b Backend) Backend
@@ -84,6 +92,9 @@ func NewRegistry(cfg RegistryConfig) (*Registry, error) {
 		if _, err := xmltree.ParseString(cfg.DefaultDoc); err != nil {
 			return nil, fmt.Errorf("server: default document: %w", err)
 		}
+	}
+	if cfg.FollowerOf != "" && cfg.DataDir != "" {
+		return nil, fmt.Errorf("server: a follower registry keeps no data dir of its own")
 	}
 	cacheSize := cfg.XPathCacheSize
 	if cacheSize == 0 {
@@ -123,11 +134,52 @@ func (r *Registry) walOptions() wal.Options {
 }
 
 func (r *Registry) newShard(name string, b Backend, closer func() error) *Shard {
+	// Capture the replication surface before any test wrapping hides it:
+	// streaming reads raw segment files, which no wrapper intermediates.
+	repl, _ := b.(ReplSource)
 	if r.cfg.wrapBackend != nil {
 		b = r.cfg.wrapBackend(name, b)
 	}
-	return NewShard(name, b, closer, r.cfg.Shard)
+	sh := NewShard(name, b, closer, r.cfg.Shard)
+	sh.repl = repl
+	return sh
 }
+
+// NewReplica builds and routes a read-only replica shard for a follower
+// registry. The replication tailer owns eng and publishes every applied
+// batch through PublishReplica; the registry serves reads from it like any
+// other tenant. Re-attaching an existing name replaces the routed shard
+// (the tailer does this after a snapshot-first re-sync builds a fresh
+// engine).
+func (r *Registry) NewReplica(name string, eng *core.Engine, appliedLSN, leaderLast uint64) (*Shard, error) {
+	if r.cfg.FollowerOf == "" {
+		return nil, fmt.Errorf("server: NewReplica on a non-follower registry")
+	}
+	if err := wal.ValidTenantName(name); err != nil {
+		return nil, invalidError{err}
+	}
+	sh := NewReplicaShard(name, eng, appliedLSN, leaderLast, r.cfg.Shard)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	r.shards[name] = sh
+	return sh, nil
+}
+
+// DropReplica unroutes a replica shard (the leader dropped the tenant).
+func (r *Registry) DropReplica(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sh := r.shards[name]; sh != nil && sh.Replica() {
+		delete(r.shards, name)
+	}
+}
+
+// FollowerOf returns the leader base URL when this registry is a follower,
+// and "" otherwise.
+func (r *Registry) FollowerOf() string { return r.cfg.FollowerOf }
 
 // closeAll force-closes every shard already built (constructor error path).
 func (r *Registry) closeAll() {
@@ -340,15 +392,21 @@ func (r *Registry) Names() []string {
 }
 
 // TenantStat is one tenant's row in List: identity plus the size and
-// pressure numbers an operator dashboards.
+// pressure numbers an operator dashboards. AppliedLSN/LastLSN make
+// replication lag observable without the repl endpoints: on a leader both
+// are the log tip; on a follower AppliedLSN is the serving position and
+// LastLSN the leader's advertised tip, so LastLSN-AppliedLSN is the lag.
 type TenantStat struct {
-	Name     string `json:"name"`
-	Version  uint64 `json:"version"` // serving epoch
-	Queue    int    `json:"queue"`
-	QueueCap int    `json:"queue_cap"`
-	Views    int    `json:"views"`
-	Rows     int    `json:"rows"`      // Σ view rows at the serving epoch
-	DocNodes int    `json:"doc_nodes"` // document size at the serving epoch
+	Name       string `json:"name"`
+	Version    uint64 `json:"version"` // serving epoch
+	Queue      int    `json:"queue"`
+	QueueCap   int    `json:"queue_cap"`
+	Views      int    `json:"views"`
+	Rows       int    `json:"rows"`      // Σ view rows at the serving epoch
+	DocNodes   int    `json:"doc_nodes"` // document size at the serving epoch
+	Role       string `json:"role,omitempty"`
+	AppliedLSN uint64 `json:"applied_lsn,omitempty"`
+	LastLSN    uint64 `json:"last_lsn,omitempty"`
 }
 
 func (s *Shard) stat() TenantStat {
@@ -363,6 +421,13 @@ func (s *Shard) stat() TenantStat {
 	}
 	for i := range snap.Views {
 		st.Rows += len(snap.Views[i].Rows)
+	}
+	st.AppliedLSN, st.LastLSN = s.LSNs()
+	switch {
+	case s.replica:
+		st.Role = "follower"
+	case s.repl != nil:
+		st.Role = "leader"
 	}
 	return st
 }

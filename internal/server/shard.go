@@ -70,6 +70,11 @@ var ErrQueueFull = errors.New("server: apply queue full")
 // draining (HTTP maps it to 503 Service Unavailable).
 var ErrShuttingDown = errors.New("server: shutting down")
 
+// ErrReadOnly is returned for updates submitted to a replica shard — a
+// follower serves reads at its applied LSN and never accepts writes (HTTP
+// maps it to 403 Forbidden, code read_only, pointing at the leader).
+var ErrReadOnly = errors.New("server: read-only follower")
+
 // Backend is what the serving layer needs from the engine side: the wal.DB
 // durability wrapper satisfies it directly, and EngineBackend adapts a bare
 // engine. All three methods are only ever called from the single writer
@@ -175,6 +180,19 @@ type Shard struct {
 	// atomic pointer read and never touch the live engine.
 	epoch atomic.Pointer[core.Snapshot]
 
+	// repl is the replication surface of a durable backend (wal.DB),
+	// captured before any test wrapping; nil for in-memory tenants and for
+	// replicas. The repl HTTP handlers stream from it.
+	repl ReplSource
+
+	// replica marks a read-only follower shard: no writer loop, epochs are
+	// published externally (PublishReplica) by the replication tailer, and
+	// every Apply rejects with ErrReadOnly. appliedLSN/leaderLast track the
+	// follower's position for lag reporting.
+	replica    bool
+	appliedLSN atomic.Uint64
+	leaderLast atomic.Uint64
+
 	queue chan *applyReq
 	done  chan struct{} // closed when the writer loop has fully drained
 
@@ -216,6 +234,72 @@ func NewShard(name string, b Backend, closer func() error, cfg Config) *Shard {
 	s.publish()
 	go s.applyLoop()
 	return s
+}
+
+// NewReplicaShard builds a read-only follower shard around an engine the
+// replication tailer owns: no queue, no writer loop, the initial epoch
+// published from the engine's current (just-restored) state. From here on
+// only the tailer may mutate the engine, publishing each batch's state via
+// PublishReplica; readers serve from the last published epoch exactly as on
+// a leader shard.
+func NewReplicaShard(name string, eng *core.Engine, appliedLSN, leaderLast uint64, cfg Config) *Shard {
+	s := &Shard{
+		name:    name,
+		cfg:     cfg,
+		backend: EngineBackend{Eng: eng},
+		eng:     eng,
+		m:       newServerMetrics(cfg.Metrics),
+		tm:      newTenantMetrics(cfg.Metrics, name),
+		replica: true,
+		done:    make(chan struct{}),
+	}
+	s.appliedLSN.Store(appliedLSN)
+	s.leaderLast.Store(leaderLast)
+	s.publish()
+	close(s.done) // no writer loop to drain
+	return s
+}
+
+// PublishReplica publishes snap as the follower's new epoch and records the
+// replication position it reflects. Tailer-goroutine only, mirroring the
+// writer-only contract of publish.
+func (s *Shard) PublishReplica(snap *core.Snapshot, appliedLSN, leaderLast uint64) {
+	snap.Tenant = s.name
+	s.appliedLSN.Store(appliedLSN)
+	s.leaderLast.Store(leaderLast)
+	s.epoch.Store(snap)
+	s.m.epochs.Inc()
+	s.tm.epochs.Inc()
+}
+
+// Replica reports whether this shard is a read-only follower.
+func (s *Shard) Replica() bool { return s.replica }
+
+// SetLeaderLast updates a replica shard's view of the leader's log tip
+// without publishing a new epoch — a caught-up poll that shipped no frames
+// still learns the tip, and lag reporting should reflect it. No-op on
+// non-replica shards.
+func (s *Shard) SetLeaderLast(last uint64) {
+	if s.replica {
+		s.leaderLast.Store(last)
+	}
+}
+
+// LSNs returns the shard's replication position: the LSN whose effects the
+// serving epoch contains, and the last LSN known to exist (the local log
+// tip on a leader, the leader's advertised tip on a follower). Both are 0
+// for in-memory tenants.
+func (s *Shard) LSNs() (applied, last uint64) {
+	if s.replica {
+		return s.appliedLSN.Load(), s.leaderLast.Load()
+	}
+	if s.repl != nil {
+		st := s.repl.ReplStatusNow()
+		// The leader's serving epoch always reflects its own log tip: the
+		// writer journals and applies synchronously before publishing.
+		return st.LastLSN, st.LastLSN
+	}
+	return 0, 0
 }
 
 // Name returns the tenant this shard serves.
@@ -263,6 +347,9 @@ func (s *Shard) Apply(ctx context.Context, st *update.Statement) (*core.Report, 
 // afterwards; the bursty stress tests use it to force deterministic
 // multi-statement batches.
 func (s *Shard) ApplyAsync(ctx context.Context, st *update.Statement) (func() (*core.Report, uint64, error), error) {
+	if s.replica {
+		return nil, ErrReadOnly
+	}
 	req := &applyReq{ctx: ctx, st: st, resp: make(chan applyResult, 1)}
 	s.mu.RLock()
 	if s.closed {
@@ -302,7 +389,9 @@ func (s *Shard) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.queue)
+		if s.queue != nil {
+			close(s.queue)
+		}
 	}
 	s.mu.Unlock()
 	select {

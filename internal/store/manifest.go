@@ -20,10 +20,25 @@ type Manifest struct {
 	// LSN is the last log sequence number whose effects the checkpoint
 	// contains; recovery replays strictly newer records on top of it.
 	LSN uint64 `json:"lsn"`
+	// EngineVersion is the engine's mutation-batch counter at checkpoint
+	// time. Recovery (and replication catch-up) restores it so the version
+	// an epoch reports is a property of the statement history, not of the
+	// process lifetime: two engines at the same LSN report the same
+	// version, whichever process — leader, restarted leader, or follower —
+	// computed the state. Absent (0) in manifests written before the field
+	// existed, which restores the old start-from-zero behavior.
+	EngineVersion uint64 `json:"engine_version,omitempty"`
 	// DocHash/DocBytes cover the canonical XML serialization of the
 	// document file.
 	DocHash  string `json:"doc_hash"`
 	DocBytes int64  `json:"doc_bytes"`
+	// OrdsHash/OrdsBytes cover the document's ordinal stream
+	// (xmltree.EncodeOrds), which restores the exact live Dewey-ID space on
+	// top of the reparsed document — required for a restored engine (crash
+	// recovery or a replication follower) to serve byte-identical responses
+	// to the process that wrote the checkpoint.
+	OrdsHash  string `json:"ords_hash"`
+	OrdsBytes int64  `json:"ords_bytes"`
 	// Views lists every materialized view in the checkpoint, in the order
 	// they were registered with the engine.
 	Views []ManifestView `json:"views"`
@@ -64,6 +79,12 @@ func (m *Manifest) SetDoc(doc []byte) {
 	m.DocBytes = int64(len(doc))
 }
 
+// SetOrds records the ordinal stream's hash and size.
+func (m *Manifest) SetOrds(ords []byte) {
+	m.OrdsHash = HashBytes(ords)
+	m.OrdsBytes = int64(len(ords))
+}
+
 // View returns the entry with the given name, or nil.
 func (m *Manifest) View(name string) *ManifestView {
 	for i := range m.Views {
@@ -100,6 +121,12 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	}
 	if m.DocBytes < 0 {
 		return nil, errors.New("store: manifest has negative document size")
+	}
+	if !validHash(m.OrdsHash) {
+		return nil, errors.New("store: manifest has malformed ordinal-stream hash")
+	}
+	if m.OrdsBytes < 0 {
+		return nil, errors.New("store: manifest has negative ordinal-stream size")
 	}
 	seen := make(map[string]bool, len(m.Views))
 	for _, v := range m.Views {

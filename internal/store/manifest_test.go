@@ -8,6 +8,7 @@ import (
 func TestManifestRoundTrip(t *testing.T) {
 	m := NewManifest(42)
 	m.SetDoc([]byte("<site/>"))
+	m.SetOrds([]byte{1, 2})
 	m.AddView("Q1", "//a{ID}", []byte("snapshot-1"))
 	m.AddView("Q2", "//b{ID,val}", []byte("snapshot-2"))
 
@@ -20,6 +21,9 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if back.DocHash != HashBytes([]byte("<site/>")) || back.DocBytes != 7 {
 		t.Fatalf("doc hash/bytes %q/%d", back.DocHash, back.DocBytes)
+	}
+	if back.OrdsHash != HashBytes([]byte{1, 2}) || back.OrdsBytes != 2 {
+		t.Fatalf("ords hash/bytes %q/%d", back.OrdsHash, back.OrdsBytes)
 	}
 	if len(back.Views) != 2 {
 		t.Fatalf("views %d", len(back.Views))
@@ -37,6 +41,7 @@ func TestDecodeManifestRejectsCorruption(t *testing.T) {
 	good := func() *Manifest {
 		m := NewManifest(7)
 		m.SetDoc([]byte("<a/>"))
+		m.SetOrds([]byte{1})
 		m.AddView("V", "//a{ID}", []byte("x"))
 		return m
 	}
@@ -49,6 +54,12 @@ func TestDecodeManifestRejectsCorruption(t *testing.T) {
 			return EncodeManifest(m)
 		},
 		"negative doc size": func() []byte { m := good(); m.DocBytes = -1; return EncodeManifest(m) },
+		"bad ords hash": func() []byte {
+			m := good()
+			m.OrdsHash = "feedface"
+			return EncodeManifest(m)
+		},
+		"negative ords size": func() []byte { m := good(); m.OrdsBytes = -1; return EncodeManifest(m) },
 		"unnamed view": func() []byte {
 			m := good()
 			m.Views[0].Name = ""

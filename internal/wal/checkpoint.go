@@ -7,11 +7,8 @@ import (
 	"sort"
 	"strings"
 
-	"xivm/internal/algebra"
 	"xivm/internal/core"
-	"xivm/internal/dewey"
 	"xivm/internal/store"
-	"xivm/internal/xmltree"
 )
 
 // Checkpoint directories live next to the wal directory as
@@ -71,17 +68,24 @@ func writeCheckpoint(fsys FS, m *walMetrics, dir string, eng *core.Engine, sourc
 	}
 
 	man := store.NewManifest(lsn)
+	man.EngineVersion = eng.Version()
 	doc := []byte(eng.Doc.String())
 	man.SetDoc(doc)
 	if err := writeFile("doc.xml", doc); err != nil {
 		return err
 	}
-	rows, err := checkpointRows(eng, doc)
-	if err != nil {
+	// The ordinal stream makes restore ID-exact: a reparse of doc.xml plus
+	// ApplyOrds reproduces the live engine's Dewey IDs byte for byte, so the
+	// view snapshots below can carry the live rows as-is — and a restored
+	// process (recovery or a replication follower) serves the same IDs the
+	// live one does.
+	ords := eng.Doc.EncodeOrds()
+	man.SetOrds(ords)
+	if err := writeFile("doc.ords", ords); err != nil {
 		return err
 	}
 	for _, mv := range eng.Views {
-		snap := store.EncodeSnapshot(store.NewMaterializedView(mv.Pattern, rows[mv.Name]))
+		snap := store.EncodeSnapshot(store.NewMaterializedView(mv.Pattern, mv.View.Rows()))
 		man.AddView(mv.Name, sources[mv.Name], snap)
 		if err := writeFile(mv.Name+".xivm", snap); err != nil {
 			return err
@@ -106,62 +110,6 @@ func writeCheckpoint(fsys FS, m *walMetrics, dir string, eng *core.Engine, sourc
 	return nil
 }
 
-// checkpointRows returns every managed view's rows rewritten into the ID
-// space of the serialized document. Recovery reparses doc.xml, and parsing
-// assigns fresh sequential Dewey IDs — after updates the live engine's IDs
-// (fractional, from dewey.Between) no longer match them, so snapshots of the
-// live rows would dangle. Both trees are walked in lockstep (serialization
-// preserves structure and document order) to build the old→new map; if the
-// shapes somehow diverge, the rows are re-evaluated on the fresh parse
-// instead — slower, but exactly what recovery will see.
-func checkpointRows(eng *core.Engine, docXML []byte) (map[string][]algebra.Row, error) {
-	fresh, err := xmltree.ParseString(string(docXML))
-	if err != nil {
-		return nil, fmt.Errorf("wal: checkpoint document does not reparse: %w", err)
-	}
-	out := make(map[string][]algebra.Row, len(eng.Views))
-	remap := make(map[string]dewey.ID)
-	if err := mapIDs(eng.Doc.Root, fresh.Root, remap); err != nil {
-		for _, mv := range eng.Views {
-			out[mv.Name] = algebra.Materialize(fresh, mv.Pattern)
-		}
-		return out, nil
-	}
-	for _, mv := range eng.Views {
-		live := mv.View.Rows()
-		rows := make([]algebra.Row, len(live))
-		for i, r := range live {
-			entries := make([]algebra.RowEntry, len(r.Entries))
-			for j, e := range r.Entries {
-				id, ok := remap[e.ID.Key()]
-				if !ok {
-					return nil, fmt.Errorf("wal: checkpoint: view %s binds unknown node %v", mv.Name, e.ID)
-				}
-				e.ID = id
-				entries[j] = e
-			}
-			// The remap preserves document order, so the rows stay sorted.
-			rows[i] = algebra.Row{Entries: entries, Count: r.Count}
-		}
-		out[mv.Name] = rows
-	}
-	return out, nil
-}
-
-// mapIDs pairs up two structurally identical trees node by node.
-func mapIDs(live, fresh *xmltree.Node, m map[string]dewey.ID) error {
-	if live.Kind != fresh.Kind || live.Label != fresh.Label || len(live.Children) != len(fresh.Children) {
-		return fmt.Errorf("wal: reparsed document diverges at %s", live.ID.Key())
-	}
-	m[live.ID.Key()] = fresh.ID
-	for i := range live.Children {
-		if err := mapIDs(live.Children[i], fresh.Children[i], m); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // listCheckpoints returns the LSNs of the published checkpoints in dir,
 // ascending. Tmp directories and foreign entries are ignored.
 func listCheckpoints(fsys FS, dir string) ([]uint64, error) {
@@ -183,11 +131,12 @@ func listCheckpoints(fsys FS, dir string) ([]uint64, error) {
 }
 
 // checkpointImage is a loaded-and-verified checkpoint: the manifest, the
-// document XML, and each view's snapshot bytes (hash-checked, not yet
-// decoded).
+// document XML, its ordinal stream, and each view's snapshot bytes
+// (hash-checked, not yet decoded).
 type checkpointImage struct {
 	Manifest *store.Manifest
 	DocXML   []byte
+	Ords     []byte
 	Views    map[string][]byte
 }
 
@@ -214,7 +163,14 @@ func loadCheckpoint(fsys FS, dir string, lsn uint64) (*checkpointImage, error) {
 	if int64(len(doc)) != man.DocBytes || store.HashBytes(doc) != man.DocHash {
 		return nil, fmt.Errorf("wal: checkpoint %s document fails its hash", ckptName(lsn))
 	}
-	img := &checkpointImage{Manifest: man, DocXML: doc, Views: make(map[string][]byte, len(man.Views))}
+	ords, err := fsys.ReadFile(filepath.Join(base, "doc.ords"))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(ords)) != man.OrdsBytes || store.HashBytes(ords) != man.OrdsHash {
+		return nil, fmt.Errorf("wal: checkpoint %s ordinal stream fails its hash", ckptName(lsn))
+	}
+	img := &checkpointImage{Manifest: man, DocXML: doc, Ords: ords, Views: make(map[string][]byte, len(man.Views))}
 	for _, v := range man.Views {
 		snap, err := fsys.ReadFile(filepath.Join(base, v.Name+".xivm"))
 		if err != nil {

@@ -50,7 +50,7 @@ func (db *DB) replayCompacted(from uint64) (bool, error) {
 		db.stats.Compacted = true
 		return true, nil
 	}
-	ops, replayed, skipped, ok := db.collectOps(payloads)
+	ops, replayed, skipped, bumps, ok := db.collectOps(payloads)
 	if !ok {
 		return false, nil
 	}
@@ -59,6 +59,7 @@ func (db *DB) replayCompacted(from uint64) (bool, error) {
 	if dropped == 0 {
 		return false, nil // nothing to save; the eager path is simpler
 	}
+	base := db.eng.Version()
 	if err := db.applyOps(reduced); err != nil {
 		// The engine may be part-mutated; rebuild it from the checkpoint
 		// and let the eager path replay the tail from scratch.
@@ -67,6 +68,11 @@ func (db *DB) replayCompacted(from uint64) (bool, error) {
 		}
 		return false, nil
 	}
+	// applyOps bumped the version once per surviving operation; the eager
+	// path would have bumped once per applied PUL (twice for a replace).
+	// The version is durable state now — checkpoint manifests carry it and
+	// followers converge on it — so land on the sequential number.
+	db.eng.SetVersion(base + uint64(bumps))
 	db.stats.Compacted = true
 	db.stats.CompactedOps = dropped
 	db.stats.Replayed += replayed
@@ -83,17 +89,25 @@ func (db *DB) replayCompacted(from uint64) (bool, error) {
 
 // collectOps is the scratch phase: every tail statement runs against a
 // private copy of the checkpoint document (never the engine), recording the
-// elementary operations it expands to. ok=false means compaction cannot
-// prove itself sound and the caller must use the eager path.
-func (db *DB) collectOps(payloads [][]byte) (ops pulopt.Seq, replayed, skipped int, ok bool) {
+// elementary operations it expands to, plus the version bumps the eager
+// path would have made (one per applied PUL — two for a replace — zero for
+// a skipped statement). ok=false means compaction cannot prove itself sound
+// and the caller must use the eager path.
+func (db *DB) collectOps(payloads [][]byte) (ops pulopt.Seq, replayed, skipped, bumps int, ok bool) {
 	scratch, err := xmltree.ParseString(string(db.ckptImg.DocXML))
 	if err != nil {
-		return nil, 0, 0, false
+		return nil, 0, 0, 0, false
+	}
+	// The scratch document must live in the same ID space as the restored
+	// engine (which applies the checkpoint's ordinal stream), or phase B's
+	// NodeByID lookups would dangle.
+	if err := scratch.ApplyOrds(db.ckptImg.Ords); err != nil {
+		return nil, 0, 0, 0, false
 	}
 	deleted := map[string]bool{} // ID keys of every node ever deleted in the tail
 	for _, p := range payloads {
 		if len(p) == 0 || p[0] != recStatement {
-			return nil, 0, 0, false
+			return nil, 0, 0, 0, false
 		}
 		st, err := update.Parse(string(p[1:]))
 		if err != nil {
@@ -119,7 +133,7 @@ func (db *DB) collectOps(payloads [][]byte) (ops pulopt.Seq, replayed, skipped i
 		for _, pul := range puls {
 			applied, err := update.Apply(scratch, nil, pul)
 			if err != nil {
-				return nil, 0, 0, false // part-applied statement
+				return nil, 0, 0, 0, false // part-applied statement
 			}
 			switch pul.Kind {
 			case update.Delete:
@@ -133,7 +147,7 @@ func (db *DB) collectOps(payloads [][]byte) (ops pulopt.Seq, replayed, skipped i
 			case update.Insert:
 				for _, r := range applied.InsertedRoots {
 					if r.Parent == nil {
-						return nil, 0, 0, false
+						return nil, 0, 0, 0, false
 					}
 					reused := false
 					xmltree.Walk(r, func(n *xmltree.Node) bool {
@@ -144,15 +158,16 @@ func (db *DB) collectOps(payloads [][]byte) (ops pulopt.Seq, replayed, skipped i
 						return true
 					})
 					if reused {
-						return nil, 0, 0, false
+						return nil, 0, 0, 0, false
 					}
 					ops = append(ops, pulopt.Op{Kind: pulopt.InsLast, Target: r.Parent.ID, Forest: []*xmltree.Node{r}})
 				}
 			}
 		}
 		replayed++
+		bumps += len(puls)
 	}
-	return ops, replayed, skipped, true
+	return ops, replayed, skipped, bumps, true
 }
 
 // applyOps propagates the reduced operations through the real engine, one

@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xivm/internal/core"
@@ -44,6 +46,11 @@ type Options struct {
 	// recovery; replay falls back to the eager path whenever compaction
 	// cannot prove itself sound (see compact.go).
 	Compact bool
+	// PinTTL is how long a replication follower's stream read pins the log
+	// suffix against checkpoint truncation without being refreshed
+	// (0 = default 30s). A follower that stalls past it falls back to
+	// snapshot-first catch-up via the typed snapshot_required error.
+	PinTTL time.Duration
 	// Metrics selects the wal.* registry (nil = obs.Default()).
 	Metrics *obs.Metrics
 	// FS selects the filesystem (nil = OSFS); the fault-injection tests
@@ -72,11 +79,22 @@ type DB struct {
 	sources map[string]string // view name -> pattern source, in ckptImg+log order
 	order   []string          // registration order of sources
 
-	ckptImg     *checkpointImage // the checkpoint this process recovered from
-	lastCkptLSN uint64
-	sinceCkpt   int
-	replaying   bool
-	stats       RecoveryStats
+	ckptImg   *checkpointImage // the checkpoint this process recovered from
+	sinceCkpt int
+	replaying bool
+	stats     RecoveryStats
+
+	// lastCkpt is the LSN of the newest checkpoint this process wrote or
+	// recovered from. Atomic because the replication status handler reads
+	// it from HTTP goroutines while the writer checkpoints.
+	lastCkpt atomic.Uint64
+
+	// pins maps follower IDs to the oldest LSN each active stream still
+	// needs, so Checkpoint does not truncate log records out from under a
+	// tailing follower. Guarded by pinMu; touched from HTTP handler
+	// goroutines concurrently with the single writer.
+	pinMu sync.Mutex
+	pins  map[string]followerPin
 }
 
 func newDB(dir string, opts Options) (*DB, error) {
@@ -93,6 +111,7 @@ func newDB(dir string, opts Options) (*DB, error) {
 		m:       newWalMetrics(opts.Metrics),
 		opts:    opts,
 		sources: map[string]string{},
+		pins:    map[string]followerPin{},
 	}
 	if err := db.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -159,7 +178,7 @@ func Create(dir string, docXML []byte, opts Options) (*DB, error) {
 	if err := writeCheckpoint(db.fs, db.m, dir, db.eng, db.sources, 0); err != nil {
 		return nil, err
 	}
-	db.ckptImg = &checkpointImage{Manifest: store.NewManifest(0), DocXML: []byte(doc.String())}
+	db.ckptImg = &checkpointImage{Manifest: store.NewManifest(0), DocXML: []byte(doc.String()), Ords: doc.EncodeOrds()}
 	db.log, err = OpenLog(db.walDir, db.logOptions(1))
 	if err != nil {
 		return nil, err
@@ -243,13 +262,17 @@ func OpenOrCreate(dir string, docXML []byte, opts Options) (*DB, error) {
 }
 
 // restore rebuilds the engine from a verified checkpoint image: parse the
-// document (Dewey ID assignment is deterministic, so IDs match the ones the
-// snapshots carry), then install every view from its snapshot rows without
-// re-evaluating patterns.
+// document, re-impose the recorded ordinal stream so every node carries the
+// exact Dewey ID it had in the live engine (the snapshot rows' IDs resolve,
+// and the restored process answers queries with byte-identical IDs), then
+// install every view from its snapshot rows without re-evaluating patterns.
 func (db *DB) restore(img *checkpointImage) error {
 	doc, err := xmltree.ParseString(string(img.DocXML))
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint document: %w", err)
+	}
+	if err := doc.ApplyOrds(img.Ords); err != nil {
+		return fmt.Errorf("wal: checkpoint ordinal stream: %w", err)
 	}
 	db.eng = db.buildEngine(doc)
 	db.sources = map[string]string{}
@@ -270,7 +293,12 @@ func (db *DB) restore(img *checkpointImage) error {
 		db.order = append(db.order, v.Name)
 	}
 	db.ckptImg = img
-	db.lastCkptLSN = img.Manifest.LSN
+	db.lastCkpt.Store(img.Manifest.LSN)
+	// Seed the version counter from the manifest so replaying the log
+	// suffix reproduces the exact version numbers the pre-crash engine
+	// reported — and a follower restoring the same image converges on them
+	// too. Old manifests carry 0, preserving their historical behavior.
+	db.eng.SetVersion(img.Manifest.EngineVersion)
 	return nil
 }
 
@@ -431,7 +459,7 @@ func (db *DB) Checkpoint() error {
 		return err
 	}
 	lsn := db.log.LastLSN()
-	if lsn == db.lastCkptLSN {
+	if lsn == db.lastCkpt.Load() {
 		return nil // nothing journaled since the last checkpoint
 	}
 	// A same-named directory can only be an invalid leftover: a valid one
@@ -442,7 +470,7 @@ func (db *DB) Checkpoint() error {
 	if err := writeCheckpoint(db.fs, db.m, db.dir, db.eng, db.sources, lsn); err != nil {
 		return err
 	}
-	db.lastCkptLSN = lsn
+	db.lastCkpt.Store(lsn)
 	db.sinceCkpt = 0
 	if err := pruneCheckpoints(db.fs, db.dir, db.opts.KeepCheckpoints); err != nil {
 		return err
@@ -458,6 +486,17 @@ func (db *DB) Checkpoint() error {
 	horizon := lsn
 	if len(kept) > 0 && kept[0] < horizon {
 		horizon = kept[0]
+	}
+	// An active follower stream pins the log suffix it is still reading:
+	// truncating past a pinned LSN would turn an in-flight tail into a
+	// mid-stream hole. Expired pins are dropped — a follower that stalls
+	// past the TTL falls back to snapshot-first catch-up instead of
+	// holding segments forever.
+	if floor, ok := db.pinFloor(); ok && floor <= horizon {
+		if floor == 0 {
+			return nil
+		}
+		horizon = floor - 1
 	}
 	return db.log.RotateAndTruncate(horizon)
 }

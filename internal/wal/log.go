@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"xivm/internal/obs"
@@ -148,6 +149,11 @@ type Log struct {
 	lastSync time.Time
 	buf      []byte // reused frame scratch
 
+	// last mirrors nextLSN-1 for concurrent readers: the replication
+	// status/stream handlers run on HTTP goroutines while the single writer
+	// appends, and must not read nextLSN directly.
+	last atomic.Uint64
+
 	truncated int64 // torn-tail bytes cut during Open
 	failed    error // sticky write-path error; the log refuses further appends
 }
@@ -236,6 +242,7 @@ func OpenLog(dir string, opts LogOptions) (*Log, error) {
 		l.nextLSN = segs[i].firstLSN + count
 		l.segments = append(l.segments, segs[i])
 	}
+	l.last.Store(l.nextLSN - 1)
 	return l, nil
 }
 
@@ -276,6 +283,7 @@ func (l *Log) cutFrom(segs []segment, i int, keep int64) (*Log, error) {
 	}
 	l.truncated = cut
 	l.m.recTruncated.Add(cut)
+	l.last.Store(l.nextLSN - 1)
 	return l, nil
 }
 
@@ -311,8 +319,10 @@ func scanFrames(data []byte, first uint64) (valid int64, count uint64) {
 func (l *Log) Truncated() int64 { return l.truncated }
 
 // LastLSN returns the sequence number of the last appended record, or
-// StartLSN-1 when the log is empty.
-func (l *Log) LastLSN() uint64 { return l.nextLSN - 1 }
+// StartLSN-1 when the log is empty. Unlike every other Log method it is
+// safe to call concurrently with the owning writer — replication status
+// reads it from HTTP handler goroutines.
+func (l *Log) LastLSN() uint64 { return l.last.Load() }
 
 // Append frames payload, writes it to the active segment (rotating first
 // if the segment is full), and syncs according to the policy. It returns
@@ -374,6 +384,7 @@ func (l *Log) append(payload []byte) (uint64, error) {
 	l.curSize += int64(len(l.buf))
 	l.segments[len(l.segments)-1].size = l.curSize
 	l.nextLSN++
+	l.last.Store(l.nextLSN - 1)
 	l.dirty = true
 	l.m.appendCount.Inc()
 	l.m.appendBytes.Add(int64(len(l.buf)))
@@ -536,6 +547,7 @@ func (l *Log) Reset(startLSN uint64) error {
 	}
 	l.segments = nil
 	l.nextLSN = startLSN
+	l.last.Store(startLSN - 1)
 	l.dirty = false
 	return l.fs.SyncDir(l.dir)
 }
