@@ -4,11 +4,19 @@
 // rewrites with residual ID/value filters, or two views stitched on a
 // shared node's structural ID — without touching the base document, and
 // stay correct across updates.
+//
+// Every rewritten answer is cross-checked against direct evaluation at
+// CONTENT level — row identity, stored values/contents, and derivation
+// counts, in order — not just row counts: a rewrite that returns the right
+// number of rows with empty values is exactly the bug a count-only check
+// waves through. Any mismatch makes the example exit non-zero.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"sort"
 
 	"xivm/internal/algebra"
 	"xivm/internal/core"
@@ -19,6 +27,35 @@ import (
 	"xivm/internal/xmltree"
 )
 
+// diffRows reports the first content-level difference between a rewritten
+// answer and direct evaluation, or "" when they agree exactly.
+func diffRows(rows, direct []algebra.Row) string {
+	if len(rows) != len(direct) {
+		return fmt.Sprintf("row count %d vs %d", len(rows), len(direct))
+	}
+	for i := range rows {
+		a, b := rows[i], direct[i]
+		if a.Key() != b.Key() {
+			return fmt.Sprintf("row %d identity %q vs %q", i, a.Key(), b.Key())
+		}
+		if a.Count != b.Count {
+			return fmt.Sprintf("row %d count %d vs %d", i, a.Count, b.Count)
+		}
+		if len(a.Entries) != len(b.Entries) {
+			return fmt.Sprintf("row %d width %d vs %d", i, len(a.Entries), len(b.Entries))
+		}
+		for j := range a.Entries {
+			if a.Entries[j].Val != b.Entries[j].Val {
+				return fmt.Sprintf("row %d entry %d val %q vs %q", i, j, a.Entries[j].Val, b.Entries[j].Val)
+			}
+			if a.Entries[j].Cont != b.Entries[j].Cont {
+				return fmt.Sprintf("row %d entry %d cont %q vs %q", i, j, a.Entries[j].Cont, b.Entries[j].Cont)
+			}
+		}
+	}
+	return ""
+}
+
 func main() {
 	src := xmark.Generate(xmark.Config{TargetBytes: 60 << 10, Seed: 5})
 	doc, err := xmltree.ParseString(src)
@@ -27,16 +64,24 @@ func main() {
 	}
 	engine := core.NewEngine(doc, core.Options{})
 
-	// An ID-complete view library: small patterns that compose.
+	// An ID-complete view library: small patterns that compose. Names are
+	// registered in sorted order so runs are reproducible — map iteration
+	// order would otherwise shuffle both the printout and the planner's
+	// tie-breaks between equal-cost views.
 	lib := map[string]string{
 		"auction-bidder":   `//open_auction{ID}//bidder{ID}`,
 		"bidder-increase":  `//bidder{ID}//increase{ID,val}`,
 		"person-name":      `//person{ID}//name{ID,val}`,
 		"auction-increase": `//open_auction{ID}//increase{ID}`,
 	}
+	names := make([]string, 0, len(lib))
+	for name := range lib {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var views []*rewrite.View
-	for name, srcPat := range lib {
-		mv, err := engine.AddView(name, pattern.MustParse(srcPat))
+	for _, name := range names {
+		mv, err := engine.AddView(name, pattern.MustParse(lib[name]))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,6 +89,7 @@ func main() {
 		fmt.Printf("view %-18s %-38s %5d rows\n", name, mv.Pattern, mv.View.Len())
 	}
 
+	failed := false
 	ask := func(qs string) {
 		q := pattern.MustParse(qs)
 		rows, plan, err := rewrite.Answer(q, views)
@@ -53,9 +99,10 @@ func main() {
 		}
 		// Cross-check against direct evaluation on the live document.
 		direct := algebra.Materialize(engine.Doc, q)
-		status := "MATCHES direct evaluation"
-		if len(rows) != len(direct) {
-			status = fmt.Sprintf("MISMATCH (%d vs %d)", len(rows), len(direct))
+		status := "MATCHES direct evaluation (ids, values, counts)"
+		if d := diffRows(rows, direct); d != "" {
+			status = "MISMATCH: " + d
+			failed = true
 		}
 		fmt.Printf("\nQ: %s\n   %s → %d rows, %s\n", qs, plan.Explain(), len(rows), status)
 	}
@@ -84,5 +131,9 @@ func main() {
 	}
 	for _, q := range queries[:4] {
 		ask(q)
+	}
+	if failed {
+		fmt.Println("\nFAIL: at least one rewrite diverged from direct evaluation")
+		os.Exit(1)
 	}
 }

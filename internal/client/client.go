@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -66,6 +67,7 @@ type Client struct {
 	hc       *http.Client
 	retries  int
 	retryCap time.Duration
+	rnd      func() float64 // jitter source in [0,1); rand.Float64 by default
 }
 
 // New builds a client for the server at base (e.g. "http://localhost:8080").
@@ -75,6 +77,7 @@ func New(base string, opts ...Option) *Client {
 		hc:       &http.Client{Timeout: 30 * time.Second},
 		retries:  10,
 		retryCap: time.Second,
+		rnd:      rand.Float64,
 	}
 	for _, o := range opts {
 		o(c)
@@ -107,23 +110,20 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if !apiErr.IsRetryable() || attempt >= c.retries {
 			return apiErr
 		}
-		if err := c.backoff(ctx, resp.Header.Get("Retry-After")); err != nil {
+		if err := c.backoff(ctx, attempt, resp.Header.Get("Retry-After")); err != nil {
 			return err
 		}
 	}
 }
 
-// backoff sleeps for the server-suggested Retry-After (seconds), capped,
-// defaulting to a short pause when the header is absent or unparsable.
-func (c *Client) backoff(ctx context.Context, retryAfter string) error {
-	d := 10 * time.Millisecond
-	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
-		d = time.Duration(secs) * time.Second
-	}
-	if d > c.retryCap {
-		d = c.retryCap
-	}
-	t := time.NewTimer(d)
+// backoff sleeps between retry attempts. A server-suggested Retry-After
+// (seconds) is honored verbatim, capped. Without one the wait grows
+// exponentially from 10ms with equal jitter, capped at retryCap — a fixed
+// short pause would have every rejected client of an overloaded shard
+// retry in lockstep, re-creating the very queue spike that produced the
+// 429s.
+func (c *Client) backoff(ctx context.Context, attempt int, retryAfter string) error {
+	t := time.NewTimer(backoffDelay(attempt, retryAfter, c.retryCap, c.rnd))
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -131,6 +131,34 @@ func (c *Client) backoff(ctx context.Context, retryAfter string) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// backoffBase is the first no-header retry delay; it doubles per attempt.
+const backoffBase = 10 * time.Millisecond
+
+// backoffDelay computes the attempt'th wait. With a parsable Retry-After
+// it is that many seconds, capped. Otherwise it is equal-jittered
+// exponential backoff: half of min(cap, 10ms<<attempt) guaranteed plus a
+// random half, so concurrent retriers spread out instead of thundering
+// back together.
+func backoffDelay(attempt int, retryAfter string, limit time.Duration, rnd func() float64) time.Duration {
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > limit {
+			d = limit
+		}
+		return d
+	}
+	d := limit
+	// Guard the shift: past 30 doublings the exponential exceeds any sane
+	// cap anyway.
+	if attempt < 30 {
+		if e := backoffBase << uint(attempt); e < limit {
+			d = e
+		}
+	}
+	half := d / 2
+	return half + time.Duration(rnd()*float64(d-half))
 }
 
 // decode consumes the response body: 2xx decodes into out, everything else

@@ -104,6 +104,18 @@ type Options struct {
 	// statement, per phase and per view. Implementations must be safe for
 	// concurrent use when Parallel is set.
 	Tracer obs.Tracer
+	// OnApplied, when non-nil, is invoked AFTER each batch of source
+	// statements has landed — document mutated, every view maintained, and
+	// the engine version advanced past them — with the version that now
+	// covers the batch. It is the delta stream consumers subscribe to for
+	// invalidation: a statement-count-contiguous sequence of calls (the
+	// version delta between consecutive calls equals len(sts)) proves the
+	// consumer has vetted every write; any gap (version bumps from
+	// recomputation repairs, direct ApplyPUL, lazy flushes) tells it to
+	// discard everything it derived. Replace statements are reported once
+	// per half (two calls, same statement). The hook runs on the applying
+	// goroutine, before the caller can publish the new state.
+	OnApplied func(sts []*update.Statement, version uint64)
 }
 
 // Engine owns a document, its store, and a set of maintained views.
@@ -404,6 +416,7 @@ func (e *Engine) ApplyStatementCtx(ctx context.Context, st *update.Statement) (*
 		if err != nil {
 			return nil, err
 		}
+		e.notifyApplied(st)
 		if err := ctx.Err(); err != nil {
 			// The delete half is fully applied and propagated; the insert
 			// half never starts. Views are consistent with the half-updated
@@ -414,6 +427,7 @@ func (e *Engine) ApplyStatementCtx(ctx context.Context, st *update.Statement) (*
 		if err != nil {
 			return nil, err
 		}
+		e.notifyApplied(st)
 		rep := &Report{Statement: st, Targets: delPul.Targets(), FindTargets: findTargets}
 		for i := range delRep.Views {
 			vr := delRep.Views[i]
@@ -466,12 +480,21 @@ func (e *Engine) ApplyStatementCtx(ctx context.Context, st *update.Statement) (*
 	if err != nil {
 		return nil, err
 	}
+	e.notifyApplied(st)
 	rep.Statement = st
 	rep.FindTargets = findTargets
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// notifyApplied reports one landed statement to the OnApplied hook with
+// the version that now covers it.
+func (e *Engine) notifyApplied(st *update.Statement) {
+	if e.opts.OnApplied != nil {
+		e.opts.OnApplied([]*update.Statement{st}, e.Version())
+	}
 }
 
 // ApplyPUL propagates an already-computed pending update list: it applies

@@ -64,6 +64,22 @@ func WithJournal(f func(st *update.Statement) error) Option {
 	return func(o *Options) { o.Journal = f }
 }
 
+// WithOnApplied subscribes f to the applied-statement delta stream: it
+// runs after each statement (or batch unit) has landed in the document and
+// every view, with the engine version that covers it. See
+// Options.OnApplied for the contiguity contract consumers rely on.
+func WithOnApplied(f func(sts []*update.Statement, version uint64)) Option {
+	return func(o *Options) { o.OnApplied = f }
+}
+
+// SetOnApplied installs (or replaces) the applied-statement hook after
+// construction — for owners like a serving shard that wrap an engine they
+// did not build. Not synchronized: call before the engine is shared with
+// an applying goroutine.
+func (e *Engine) SetOnApplied(f func(sts []*update.Statement, version uint64)) {
+	e.opts.OnApplied = f
+}
+
 // WithoutDataPruning disables Proposition 3.6's data-driven term pruning
 // (ablation).
 func WithoutDataPruning() Option { return func(o *Options) { o.DisableDataPruning = true } }

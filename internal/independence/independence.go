@@ -83,6 +83,10 @@ func Check(p *pattern.Pattern, st *update.Statement, g *dtd.DTD) Verdict {
 			return MayAffect
 		}
 		changed = descClosure(terms, g)
+	default:
+		// Replace (and any future kind) is not analyzed: falling through
+		// with an empty changed set would wrongly report Independent.
+		return MayAffect
 	}
 	for l := range changed {
 		if viewLabels[l] {

@@ -53,6 +53,26 @@ func TestInsertContentSensitivity(t *testing.T) {
 	}
 }
 
+func TestReplaceAlwaysMayAffect(t *testing.T) {
+	// Regression: Replace used to fall through the statement-kind switch
+	// with an empty changed-label set and could report Independent — even
+	// against a label-disjoint view, the replaced subtree's labels are
+	// data-dependent (like a delete's descendants), so only MayAffect is
+	// sound.
+	p := pattern.MustParse(`//person{ID}`)
+	st := update.MustParse(`replace /site/regions/item with <item/>`)
+	if got := Check(p, st, nil); got != MayAffect {
+		t.Fatalf("replace without DTD: got %v", got)
+	}
+	g, err := dtd.Parse(auctionDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Check(p, st, g); got != MayAffect {
+		t.Fatalf("replace with DTD: got %v", got)
+	}
+}
+
 func TestDeleteNeedsDTD(t *testing.T) {
 	p := pattern.MustParse(`//person{ID}`)
 	st := update.MustParse(`delete /site/regions/item`)

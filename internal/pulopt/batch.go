@@ -178,6 +178,7 @@ func PlanBatch(e *core.Engine, stmts []*update.Statement) (*BatchPlan, error) {
 		plan.Units = append(plan.Units, core.BatchPUL{
 			PUL:        mergeRun(plan.PerStatement[a:b]),
 			Statements: b - a,
+			Sources:    stmts[a:b],
 		})
 		a = b
 	}

@@ -1,0 +1,102 @@
+package rewrite
+
+import (
+	"sync"
+	"testing"
+
+	"xivm/internal/algebra"
+	"xivm/internal/pattern"
+	"xivm/internal/xmltree"
+	"xivm/internal/xpath"
+)
+
+// fuzzDocXML is a small auction-shaped document with value-bearing leaves,
+// branching elements and attributes, so bridged queries exercise residual
+// parent checks, value predicates and all three plan shapes.
+const fuzzDocXML = `<site><people>` +
+	`<person id="p0"><name>Ann</name><profile><age>30</age></profile><homepage>h0</homepage></person>` +
+	`<person id="p1"><name>Bob</name><profile><age>41</age></profile></person>` +
+	`<person id="p2"><name>Cyd</name><homepage>h2</homepage></person>` +
+	`</people><open_auctions>` +
+	`<open_auction id="a0"><initial>5</initial><bidder><increase>3</increase></bidder><bidder><increase>7</increase></bidder></open_auction>` +
+	`<open_auction id="a1"><initial>9</initial><bidder><increase>3</increase></bidder></open_auction>` +
+	`<open_auction id="a2"><initial>2</initial></open_auction>` +
+	`</open_auctions></site>`
+
+var (
+	fuzzOnce sync.Once
+	fuzzDoc  *xmltree.Document
+	fuzzLib  []*View
+)
+
+func fuzzSetup() {
+	d, err := xmltree.ParseString(fuzzDocXML)
+	if err != nil {
+		panic(err)
+	}
+	fuzzDoc = d
+	mk := func(name, src string) *View {
+		p := pattern.MustParse(src)
+		return &View{Name: name, Pattern: p, Rows: RowSlice(algebra.Materialize(d, p))}
+	}
+	fuzzLib = []*View{
+		mk("chain-name", `/site{ID}/people{ID}/person{ID}/name{ID,val}`),
+		mk("person-name", `//person{ID}//name{ID,val}`),
+		mk("person-id", `//person{ID}/@id{ID,val}`),
+		mk("person-profile", `//person{ID}//profile{ID,val}`),
+		mk("person-homepage", `//person{ID}//homepage{ID,val}`),
+		mk("auction-bidder", `//open_auction{ID}//bidder{ID,val}`),
+		mk("bidder-increase", `//bidder{ID}//increase{ID,val}`),
+		mk("auction-initial", `//open_auction{ID}//initial{ID,val}`),
+		mk("auction-increase", `//open_auction{ID}//increase{ID,val}`),
+	}
+}
+
+// FuzzRewriteVsTreeWalk is the end-to-end differential oracle for the
+// bridge + rewrite pipeline: any query that parses, bridges, and finds a
+// view plan must return exactly the tree walk's matches — same IDs, same
+// values, same order.
+func FuzzRewriteVsTreeWalk(f *testing.F) {
+	for _, seed := range []string{
+		"/site/people/person/name",
+		"//open_auction//increase",
+		"//open_auction//bidder//increase",
+		"//open_auction[bidder]//initial",
+		"//person[profile]/name",
+		"//person[profile and homepage]/name",
+		`//person[@id="p0"]/name`,
+		`//open_auction[initial="5"]//increase`,
+		"//person/@id",
+		"/site/people/person[homepage]/name",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, qs string) {
+		fuzzOnce.Do(fuzzSetup)
+		p, err := xpath.Parse(qs)
+		if err != nil {
+			t.Skip()
+		}
+		pat, err := xpath.ToPattern(p)
+		if err != nil {
+			t.Skip()
+		}
+		rows, plan, err := Answer(pat, fuzzLib)
+		if err != nil {
+			t.Skip() // no plan from this library — fine
+		}
+		want := xpath.Eval(fuzzDoc, p)
+		if len(rows) != len(want) {
+			t.Fatalf("%s (%s): rewrite %d matches, tree walk %d", qs, plan.Explain(), len(rows), len(want))
+		}
+		for i := range rows {
+			e := rows[i].Entries[0]
+			if e.ID.Key() != want[i].ID.Key() {
+				t.Fatalf("%s (%s): match %d ID %s != %s", qs, plan.Explain(), i, e.ID, want[i].ID)
+			}
+			if e.Val != want[i].StringValue() {
+				t.Fatalf("%s (%s): match %d value %q != %q", qs, plan.Explain(), i, e.Val, want[i].StringValue())
+			}
+		}
+	})
+}

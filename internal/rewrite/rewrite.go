@@ -1,7 +1,7 @@
 // Package rewrite answers tree-pattern queries from materialized views —
 // the reason the paper's views store structural IDs in the first place:
 // "storing IDs in views enables combining several views in order to answer
-// a query". Two sound and exact (derivation-count-preserving) strategies
+// a query". Three sound and exact (derivation-count-preserving) strategies
 // are implemented over ID-complete views (views storing the ID of every
 // pattern node):
 //
@@ -10,74 +10,243 @@
 //     value predicates applied directly on the stored IDs/values;
 //   - two-view stitching: the query is split at a node, its upper part
 //     answered by one view and the subtree below the split by another,
-//     joined on the split node's ID.
+//     joined on the split node's ID;
+//   - k-view intersection (after Cautis et al., "Rewriting XPath Queries
+//     using View Intersections"): a query whose root has k ≥ 2 children is
+//     decomposed into one piece per root subtree, each piece answered by
+//     its own view, all pieces hash-joined on the shared root ID.
+//
+// When several plans apply, the cheapest by view cardinality wins: a
+// rewrite scans whole views, so cost is the total number of rows read.
 //
 // Answer never consults the base document; everything comes from view rows.
 package rewrite
 
 import (
 	"fmt"
+	"strings"
 
 	"xivm/internal/algebra"
 	"xivm/internal/pattern"
-	"xivm/internal/store"
 )
+
+// RowSource is the row access a rewrite needs: a full scan plus a
+// cardinality for plan costing. *store.View implements it directly;
+// RowSlice adapts plain row slices such as core.ViewSnapshot.Rows.
+type RowSource interface {
+	Each(f func(algebra.Row) bool)
+	Len() int
+}
+
+// RowSlice adapts a materialized row slice to a RowSource.
+type RowSlice []algebra.Row
+
+func (s RowSlice) Each(f func(algebra.Row) bool) {
+	for i := range s {
+		if !f(s[i]) {
+			return
+		}
+	}
+}
+
+func (s RowSlice) Len() int { return len(s) }
 
 // View couples a pattern with its materialized rows (the shape
 // core.ManagedView exposes; accepted structurally to avoid a dependency).
 type View struct {
 	Name    string
 	Pattern *pattern.Pattern
-	Rows    *store.View
+	Rows    RowSource
 }
 
 // Plan describes how a query was answered.
 type Plan struct {
-	Kind  string // "single" or "stitch"
+	Kind  string // "single", "stitch" or "intersect"
 	Views []string
 	// SplitNode is the query node index the stitch joined on (stitch only).
 	SplitNode int
+	// Cost is the total number of view rows the plan scans.
+	Cost int
 }
 
 func (p *Plan) Explain() string {
-	if p.Kind == "single" {
+	switch p.Kind {
+	case "single":
 		return fmt.Sprintf("single-view rewrite over %s", p.Views[0])
+	case "intersect":
+		return fmt.Sprintf("intersection of %s on the query root", strings.Join(p.Views, ", "))
+	default:
+		return fmt.Sprintf("stitch of %s and %s on query node %d", p.Views[0], p.Views[1], p.SplitNode)
 	}
-	return fmt.Sprintf("stitch of %s and %s on query node %d", p.Views[0], p.Views[1], p.SplitNode)
 }
 
 // Answer computes the query's rows (projected onto its stored nodes, with
 // exact derivation counts) from the given views, or reports that no
-// rewriting exists.
+// rewriting exists. Among applicable plans the cheapest by scanned view
+// cardinality is chosen; a matching single view always beats multi-view
+// plans (it scans one relation and needs no join).
 func Answer(q *pattern.Pattern, views []*View) ([]algebra.Row, *Plan, error) {
-	for _, v := range views {
-		if rows, ok := answerSingle(q, v); ok {
-			return rows, &Plan{Kind: "single", Views: []string{v.Name}}, nil
-		}
+	if v := bestSingle(q, views); v != nil {
+		rows, _ := answerSingle(q, v)
+		return rows, &Plan{Kind: "single", Views: []string{v.Name}, Cost: v.Rows.Len()}, nil
 	}
-	// Try every split node and every view pair.
-	for c := 1; c < q.Size(); c++ {
-		topQ, topMap, botQ, botMap := split(q, c)
-		for _, vTop := range views {
-			topRows, ok := answerSingleMapped(topQ, vTop)
-			if !ok {
-				continue
-			}
-			for _, vBot := range views {
-				botRows, ok := answerSingleMapped(botQ, vBot)
-				if !ok {
-					continue
-				}
-				rows := stitch(q, c, topQ, topMap, topRows, botQ, botMap, botRows)
-				return rows, &Plan{
-					Kind:      "stitch",
-					Views:     []string{vTop.Name, vBot.Name},
-					SplitNode: c,
-				}, nil
-			}
+	st := planStitch(q, views)
+	in := planIntersect(q, views)
+	if st != nil && (in == nil || st.cost <= in.cost) {
+		topQ, topMap, botQ, botMap := split(q, st.c)
+		topRows, _ := answerSingleMapped(topQ, st.top)
+		botRows, _ := answerSingleMapped(botQ, st.bot)
+		rows := stitch(q, st.c, topQ, topMap, topRows, botQ, botMap, botRows)
+		return rows, &Plan{
+			Kind:      "stitch",
+			Views:     []string{st.top.Name, st.bot.Name},
+			SplitNode: st.c,
+			Cost:      st.cost,
+		}, nil
+	}
+	if in != nil {
+		rows := answerIntersect(q, in)
+		names := make([]string, len(in.views))
+		for i, v := range in.views {
+			names[i] = v.Name
 		}
+		return rows, &Plan{Kind: "intersect", Views: names, Cost: in.cost}, nil
 	}
 	return nil, nil, fmt.Errorf("rewrite: no view combination answers %s", q)
+}
+
+// bestSingle returns the lowest-cardinality view matching q alone, or nil.
+func bestSingle(q *pattern.Pattern, views []*View) *View {
+	var best *View
+	for _, v := range views {
+		if !idComplete(v) {
+			continue
+		}
+		if _, ok := matchPatterns(q, v.Pattern); !ok {
+			continue
+		}
+		if best == nil || v.Rows.Len() < best.Rows.Len() {
+			best = v
+		}
+	}
+	return best
+}
+
+// stitchPlan is a costed split-point choice: query node c with the
+// cheapest matching view for each half.
+type stitchPlan struct {
+	c        int
+	top, bot *View
+	cost     int
+}
+
+func planStitch(q *pattern.Pattern, views []*View) *stitchPlan {
+	var best *stitchPlan
+	for c := 1; c < q.Size(); c++ {
+		topQ, _, botQ, _ := split(q, c)
+		top := bestSingle(topQ, views)
+		if top == nil {
+			continue
+		}
+		bot := bestSingle(botQ, views)
+		if bot == nil {
+			continue
+		}
+		cost := top.Rows.Len() + bot.Rows.Len()
+		if best == nil || cost < best.cost {
+			best = &stitchPlan{c: c, top: top, bot: bot, cost: cost}
+		}
+	}
+	return best
+}
+
+// intersectPlan decomposes q at its root into one piece per root subtree,
+// with the cheapest matching view per piece.
+type intersectPlan struct {
+	pieces []*pattern.Pattern
+	maps   [][]int // piece node index -> query node index (index 0 = root)
+	views  []*View
+	cost   int
+}
+
+// planIntersect builds the root-pivot decomposition: each piece keeps the
+// query root (with its store/predicate annotations, so every piece's view
+// must cover them) plus one child subtree. Applicable only when the root
+// has at least two children — with one child the decomposition degenerates
+// to the query itself.
+func planIntersect(q *pattern.Pattern, views []*View) *intersectPlan {
+	if len(q.Root.Children) < 2 {
+		return nil
+	}
+	ip := &intersectPlan{}
+	for _, ch := range q.Root.Children {
+		mask := uint64(1) << uint(q.Root.Index)
+		for j := 0; j < q.Size(); j++ {
+			if j == ch.Index || q.IsAncestor(ch.Index, j) {
+				mask |= 1 << uint(j)
+			}
+		}
+		sub, orig := q.SubPattern(mask)
+		v := bestSingle(sub, views)
+		if v == nil {
+			return nil
+		}
+		ip.pieces = append(ip.pieces, sub)
+		ip.maps = append(ip.maps, orig)
+		ip.views = append(ip.views, v)
+		ip.cost += v.Rows.Len()
+	}
+	return ip
+}
+
+// answerIntersect evaluates each piece against its view and hash-joins the
+// pieces on the shared root ID. Fixing a root node, the embeddings of q
+// are exactly the cross product of the pieces' embeddings (the pieces
+// partition the non-root query nodes), so counts multiply — the same
+// argument that makes the two-view stitch exact.
+func answerIntersect(q *pattern.Pattern, ip *intersectPlan) []algebra.Row {
+	var acc []algebra.Row // full-width over q
+	for i := range ip.pieces {
+		rows, _ := answerSingleMapped(ip.pieces[i], ip.views[i])
+		if i == 0 {
+			for _, r := range rows {
+				entries := make([]algebra.RowEntry, q.Size())
+				for j, orig := range ip.maps[0] {
+					e := r.Entries[j]
+					e.NodeIdx = orig
+					entries[orig] = e
+				}
+				acc = append(acc, algebra.Row{Entries: entries, Count: r.Count})
+			}
+			continue
+		}
+		byRoot := map[string][]algebra.Row{}
+		for _, r := range rows {
+			k := r.Entries[0].ID.Key()
+			byRoot[k] = append(byRoot[k], r)
+		}
+		var next []algebra.Row
+		for _, a := range acc {
+			for _, r := range byRoot[a.Entries[q.Root.Index].ID.Key()] {
+				entries := make([]algebra.RowEntry, q.Size())
+				copy(entries, a.Entries)
+				for j, orig := range ip.maps[i] {
+					if orig == q.Root.Index {
+						continue // shared root, already placed
+					}
+					e := r.Entries[j]
+					e.NodeIdx = orig
+					entries[orig] = e
+				}
+				next = append(next, algebra.Row{Entries: entries, Count: a.Count * r.Count})
+			}
+		}
+		acc = next
+		if len(acc) == 0 {
+			break
+		}
+	}
+	return projectRows(q, acc)
 }
 
 // idComplete reports whether every node of the view stores its ID — the
@@ -112,7 +281,11 @@ type valCheck struct {
 // equal labels; q's / edges map onto v edges that are / (exact) or //
 // (re-checked on IDs); q's // edges require v // edges; view predicates
 // must appear on the query (or the view filters too much); query predicates
-// missing on the view are post-checked against stored values.
+// missing on the view are post-checked against stored values; everything
+// the query stores beyond the ID must also be stored by the view — a view
+// row can only supply a val/cont it kept, and projecting an absent one
+// would silently return empty strings with correct counts (the bug class a
+// count-only oracle cannot see).
 func matchPatterns(q, v *pattern.Pattern) (*mapping, bool) {
 	if q.Size() != v.Size() {
 		return nil, false
@@ -122,6 +295,12 @@ func matchPatterns(q, v *pattern.Pattern) (*mapping, bool) {
 	match = func(qn, vn *pattern.Node, root bool) bool {
 		if qn.Label != vn.Label {
 			return false
+		}
+		if qn.Store.Has(pattern.StoreVal) && !vn.Store.Has(pattern.StoreVal) {
+			return false // the view never kept this node's value
+		}
+		if qn.Store.Has(pattern.StoreCont) && !vn.Store.Has(pattern.StoreCont) {
+			return false // nor its content
 		}
 		if !root {
 			switch {

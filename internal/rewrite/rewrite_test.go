@@ -146,6 +146,131 @@ func TestStitchPreservesCounts(t *testing.T) {
 	}
 }
 
+func TestStoreCoverageRefused(t *testing.T) {
+	// Regression: the query stores b's value but the view kept only IDs.
+	// Before the coverage check in matchPatterns the rewrite returned rows
+	// with empty values and correct counts — exactly the bug class a
+	// count-only comparison cannot see.
+	d := mustDoc(t, doc1)
+	v := mkView(t, d, "ids", `//c{ID}//b{ID}`)
+	q := pattern.MustParse(`//c{ID}//b{ID,val}`)
+	if _, _, err := Answer(q, []*View{v}); err == nil {
+		t.Fatal("view without stored values answered a val-storing query")
+	}
+	// With values stored the same query is answerable and content-correct.
+	vv := mkView(t, d, "vals", `//c{ID}//b{ID,val}`)
+	rows, _, err := Answer(q, []*View{vv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(rows, algebra.Materialize(d, q)) {
+		t.Fatal("values differ from direct evaluation")
+	}
+	// Same for cont.
+	qc := pattern.MustParse(`//c{ID}//b{ID,cont}`)
+	if _, _, err := Answer(qc, []*View{vv}); err == nil {
+		t.Fatal("view without stored content answered a cont-storing query")
+	}
+}
+
+func TestIntersectTwoViews(t *testing.T) {
+	// Root-pivot decomposition: neither single view nor any stitch split can
+	// answer a branching query, but one view per root subtree joined on the
+	// root ID can.
+	d := mustDoc(t, doc1)
+	vc := mkView(t, d, "ac", `//a{ID}//c{ID}`)
+	vb := mkView(t, d, "ab", `//a{ID}//b{ID}`)
+	q := pattern.MustParse(`//a{ID}[//c]//b{ID}`)
+	rows, plan, err := Answer(q, []*View{vc, vb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != "intersect" || len(plan.Views) != 2 {
+		t.Fatalf("plan %s", plan.Explain())
+	}
+	if !sameRows(rows, algebra.Materialize(d, q)) {
+		t.Fatal("intersected rows differ from direct evaluation")
+	}
+}
+
+func TestIntersectThreeViews(t *testing.T) {
+	d := mustDoc(t, doc1)
+	views := []*View{
+		mkView(t, d, "ab", `//a{ID}//b{ID}`),
+		mkView(t, d, "ac", `//a{ID}//c{ID}`),
+		mkView(t, d, "af", `//a{ID}//f{ID}`),
+	}
+	q := pattern.MustParse(`//a{ID}[//b][//c]//f{ID}`)
+	rows, plan, err := Answer(q, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != "intersect" || len(plan.Views) != 3 {
+		t.Fatalf("plan %s", plan.Explain())
+	}
+	if !sameRows(rows, algebra.Materialize(d, q)) {
+		t.Fatal("3-way intersection differs from direct evaluation")
+	}
+}
+
+func TestIntersectPreservesCounts(t *testing.T) {
+	// Query projects only the root: each row's count must be the product of
+	// the per-subtree embedding counts.
+	d := mustDoc(t, doc1)
+	views := []*View{
+		mkView(t, d, "ab", `//a{ID}//b{ID}`),
+		mkView(t, d, "ac", `//a{ID}//c{ID}`),
+	}
+	q := pattern.MustParse(`//a{ID}[//b][//c]`)
+	rows, plan, err := Answer(q, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != "intersect" {
+		t.Fatalf("plan %s", plan.Explain())
+	}
+	want := algebra.Materialize(d, q)
+	if !sameRows(rows, want) {
+		t.Fatalf("counts differ: got %+v want %+v", rows, want)
+	}
+}
+
+func TestPlanCostingPrefersSmallerView(t *testing.T) {
+	// Two views answer the same query; the plan must scan the smaller one.
+	d := mustDoc(t, `<a><c><x><b>1</b></x><b>2</b></c></a>`)
+	big := mkView(t, d, "big", `//c{ID}//b{ID}`)  // 2 rows
+	tiny := mkView(t, d, "tiny", `//c{ID}/b{ID}`) // 1 row
+	if big.Rows.Len() <= tiny.Rows.Len() {
+		t.Fatalf("fixture broken: big=%d tiny=%d", big.Rows.Len(), tiny.Rows.Len())
+	}
+	q := pattern.MustParse(`//c{ID}/b{ID}`)
+	rows, plan, err := Answer(q, []*View{big, tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != "single" || plan.Views[0] != "tiny" || plan.Cost != tiny.Rows.Len() {
+		t.Fatalf("expected cheapest single view, got %s (cost %d)", plan.Explain(), plan.Cost)
+	}
+	if !sameRows(rows, algebra.Materialize(d, q)) {
+		t.Fatal("rows differ from direct evaluation")
+	}
+}
+
+func TestRowSliceSource(t *testing.T) {
+	// Snapshot-shaped row slices must answer identically to store views.
+	d := mustDoc(t, doc1)
+	p := pattern.MustParse(`//c{ID}//b{ID}`)
+	v := &View{Name: "slice", Pattern: p, Rows: RowSlice(algebra.Materialize(d, p))}
+	q := pattern.MustParse(`//c{ID}/b{ID}`)
+	rows, _, err := Answer(q, []*View{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(rows, algebra.Materialize(d, q)) {
+		t.Fatal("RowSlice-backed rewrite differs from direct evaluation")
+	}
+}
+
 func TestNoRewriteFound(t *testing.T) {
 	d := mustDoc(t, doc1)
 	v := mkView(t, d, "v", `//a{ID}//f{ID}`)
@@ -194,6 +319,9 @@ func TestRandomizedAgainstDirect(t *testing.T) {
 		`//a{ID}//b{ID}//c{ID}`,
 		`//a{ID}//c{ID}//b{ID}`,
 		`//a{ID}[//b{ID}]`,
+		`//a{ID}[//b][//c]`,
+		`//a{ID}[//b]//c{ID}`,
+		`//a{ID}[//c]//b{ID}`,
 	}
 	for trial := 0; trial < 50; trial++ {
 		d := mustDoc(t, "<a>"+build(1)+build(1)+"</a>")

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"xivm/internal/obs"
-	"xivm/internal/qvm"
 	"xivm/internal/update"
 )
 
@@ -71,11 +70,15 @@ type MatchJSON struct {
 	Value string `json:"value"`
 }
 
-// XPathResponse answers GET /v1/db/{db}/xpath.
+// XPathResponse answers GET /v1/db/{db}/xpath. Plan is populated only
+// when the request asked explain=1: the rewrite plan that served the
+// query ("single-view rewrite over V", "stitch of ...", "intersection of
+// ..."), or "treewalk" when the document was walked directly.
 type XPathResponse struct {
 	Tenant  string      `json:"tenant"`
 	Version uint64      `json:"version"`
 	Query   string      `json:"query"`
+	Plan    string      `json:"plan,omitempty"`
 	Matches []MatchJSON `json:"matches"`
 }
 
@@ -268,29 +271,16 @@ func (r *Registry) handleXPath(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), "missing q parameter")
 		return
 	}
-	// Keying the compiled-program cache by the raw query string means a hit
-	// skips the parse as well as the compile. Programs are immutable and
-	// snapshots are immutable, so hits are valid against any tenant's epoch.
-	prog, ok := r.progs.Get(q)
-	if ok {
-		r.m.xpathCacheHits.Inc()
-	} else {
-		r.m.xpathCacheMisses.Inc()
-		var err error
-		prog, err = qvm.CompileString(q)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), err.Error())
-			return
-		}
-		if r.progs.Add(q, prog) {
-			r.m.xpathCacheEvicts.Inc()
-		}
-	}
+	// rewrite=0 forces the tree walk (the differential tests' oracle side);
+	// explain=1 echoes the plan that served the query.
 	snap := sh.Epoch()
-	nodes := prog.Eval(snap.Doc())
-	resp := XPathResponse{Tenant: snap.Tenant, Version: snap.Version, Query: q, Matches: make([]MatchJSON, 0, len(nodes))}
-	for _, n := range nodes {
-		resp.Matches = append(resp.Matches, MatchJSON{ID: n.ID.String(), Label: n.Label, Value: n.StringValue()})
+	resp, err := r.xpathResponse(sh, snap, q, req.URL.Query().Get("rewrite") != "0")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, sh.Name(), err.Error())
+		return
+	}
+	if req.URL.Query().Get("explain") != "1" {
+		resp.Plan = ""
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"xivm/internal/core"
+	"xivm/internal/pattern"
+	"xivm/internal/qvm"
+	"xivm/internal/rewrite"
+	"xivm/internal/xpath"
+)
+
+// This file is the view-based serving path for /v1/db/{name}/xpath: bridge
+// the query to a tree pattern, try the delta-invalidated result cache,
+// then the rewrite planner over the tenant's maintained views (single,
+// stitch, intersection — cheapest by view cardinality), and only then fall
+// back to the compiled tree walk. Every strategy answers from the SAME
+// immutable epoch snapshot, so a rewritten response is byte-identical to
+// the tree-walk response at that version — the differential tests and
+// FuzzRewriteVsTreeWalk hold the layer to exactly that.
+
+// xpathResponse computes the full response for q against one snapshot.
+// It is the handler's core, split out so tests can pin rewritten and
+// tree-walk answers to the same epoch. The returned Plan is always set
+// ("treewalk" when no rewrite served it); the handler strips it unless
+// explain=1 was asked, and json omitempty keeps non-explain bodies
+// byte-identical across serving strategies.
+func (r *Registry) xpathResponse(sh *Shard, snap *core.Snapshot, q string, allowRewrite bool) (XPathResponse, error) {
+	resp := XPathResponse{Tenant: snap.Tenant, Version: snap.Version, Query: q}
+	if allowRewrite && sh.qcache != nil {
+		if e, ok := sh.qcache.get(q, snap.Version); ok {
+			r.m.rewriteCacheHits.Inc()
+			resp.Matches = e.matches
+			resp.Plan = e.plan
+			return resp, nil
+		}
+		if pat, err := bridgeQuery(q); err == nil {
+			if matches, plan, ok := r.rewriteFromViews(snap, pat); ok {
+				r.m.rewriteHits.Inc()
+				switch plan.Kind {
+				case "stitch":
+					r.m.rewriteStitch.Inc()
+				case "intersect":
+					r.m.rewriteIntersect.Inc()
+				}
+				resp.Matches = matches
+				resp.Plan = plan.Explain()
+				sh.qcache.put(&cachedResult{query: q, pat: pat, matches: matches, plan: resp.Plan, version: snap.Version})
+				return resp, nil
+			}
+			// Bridgeable but no view plan: the tree walk serves it, and the
+			// result is still cacheable — the pattern drives invalidation.
+			r.m.rewriteMisses.Inc()
+			matches, err := r.treeWalkMatches(snap, q)
+			if err != nil {
+				return resp, err
+			}
+			resp.Matches = matches
+			resp.Plan = "treewalk"
+			sh.qcache.put(&cachedResult{query: q, pat: pat, matches: matches, plan: "treewalk", version: snap.Version})
+			return resp, nil
+		}
+		r.m.rewriteMisses.Inc()
+	}
+	matches, err := r.treeWalkMatches(snap, q)
+	if err != nil {
+		return resp, err
+	}
+	resp.Matches = matches
+	resp.Plan = "treewalk"
+	return resp, nil
+}
+
+// bridgeQuery parses q and converts it to a tree pattern, or reports why
+// it has none (the fallback signal).
+func bridgeQuery(q string) (*pattern.Pattern, error) {
+	p, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return xpath.ToPattern(p)
+}
+
+// rewriteFromViews answers the bridged pattern from the snapshot's
+// maintained views. The bridged result node stores ID and val, so matches
+// are rebuilt entirely from view rows — the document is never touched.
+func (r *Registry) rewriteFromViews(snap *core.Snapshot, pat *pattern.Pattern) ([]MatchJSON, *rewrite.Plan, bool) {
+	if len(snap.Views) == 0 {
+		return nil, nil, false
+	}
+	views := make([]*rewrite.View, 0, len(snap.Views))
+	for i := range snap.Views {
+		vs := &snap.Views[i]
+		views = append(views, &rewrite.View{Name: vs.Name, Pattern: vs.Pattern, Rows: rewrite.RowSlice(vs.Rows)})
+	}
+	rows, plan, err := rewrite.Answer(pat, views)
+	if err != nil {
+		return nil, nil, false
+	}
+	label := pat.Nodes[pat.StoredIndexes()[0]].Label
+	matches := make([]MatchJSON, 0, len(rows))
+	for _, row := range rows {
+		e := row.Entries[0]
+		matches = append(matches, MatchJSON{ID: e.ID.String(), Label: label, Value: e.Val})
+	}
+	return matches, plan, true
+}
+
+// treeWalkMatches evaluates q against the snapshot document with a
+// compiled program (registry-wide LRU keyed by the query string).
+func (r *Registry) treeWalkMatches(snap *core.Snapshot, q string) ([]MatchJSON, error) {
+	prog, ok := r.progs.Get(q)
+	if ok {
+		r.m.xpathCacheHits.Inc()
+	} else {
+		r.m.xpathCacheMisses.Inc()
+		var err error
+		prog, err = qvm.CompileString(q)
+		if err != nil {
+			return nil, err
+		}
+		if r.progs.Add(q, prog) {
+			r.m.xpathCacheEvicts.Inc()
+		}
+	}
+	nodes := prog.Eval(snap.Doc())
+	matches := make([]MatchJSON, 0, len(nodes))
+	for _, n := range nodes {
+		matches = append(matches, MatchJSON{ID: n.ID.String(), Label: n.Label, Value: n.StringValue()})
+	}
+	return matches, nil
+}

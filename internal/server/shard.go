@@ -193,6 +193,12 @@ type Shard struct {
 	appliedLSN atomic.Uint64
 	leaderLast atomic.Uint64
 
+	// qcache is the per-shard XPath result cache, invalidated by the
+	// engine's applied-statement delta stream (core.Options.OnApplied); the
+	// hook fires on the applying goroutine before publish, so readers at a
+	// new epoch never see entries a write may have affected.
+	qcache *queryCache
+
 	queue chan *applyReq
 	done  chan struct{} // closed when the writer loop has fully drained
 
@@ -231,9 +237,22 @@ func NewShard(name string, b Backend, closer func() error, cfg Config) *Shard {
 		queue:   make(chan *applyReq, cfg.queueDepth()),
 		done:    make(chan struct{}),
 	}
+	s.initQueryCache()
 	s.publish()
 	go s.applyLoop()
 	return s
+}
+
+// initQueryCache creates the result cache at the engine's current version
+// and subscribes it to the applied-statement delta stream. Must run before
+// the engine is shared with an applying goroutine.
+func (s *Shard) initQueryCache() {
+	s.qcache = newQueryCache(s.eng.Version())
+	s.eng.SetOnApplied(func(sts []*update.Statement, version uint64) {
+		if n := s.qcache.noteApplied(sts, version); n > 0 {
+			s.m.rewriteCacheInval.Add(int64(n))
+		}
+	})
 }
 
 // NewReplicaShard builds a read-only follower shard around an engine the
@@ -255,6 +274,7 @@ func NewReplicaShard(name string, eng *core.Engine, appliedLSN, leaderLast uint6
 	}
 	s.appliedLSN.Store(appliedLSN)
 	s.leaderLast.Store(leaderLast)
+	s.initQueryCache()
 	s.publish()
 	close(s.done) // no writer loop to drain
 	return s
@@ -582,6 +602,10 @@ func (s *Shard) safeApply(ctx context.Context, st *update.Statement) (rep *core.
 		if r := recover(); r != nil {
 			s.m.applyPanics.Inc()
 			s.eng.RepairAllViews()
+			// A repair rebuilds state outside the delta stream (the document
+			// may even have changed without a version bump): cached results
+			// are no longer trustworthy at any version.
+			s.qcache.dropAll(s.eng.Version())
 			rep, err = nil, fmt.Errorf("server: apply panicked: %v", r)
 		}
 	}()
@@ -597,12 +621,14 @@ func (s *Shard) safeApplyBatch(plan *pulopt.BatchPlan) (rep *core.Report, applie
 		if r := recover(); r != nil {
 			s.m.applyPanics.Inc()
 			s.eng.RepairAllViews()
+			s.qcache.dropAll(s.eng.Version())
 			rep, applied, err = nil, 0, fmt.Errorf("server: batch apply panicked: %v", r)
 		}
 	}()
 	rep, applied, err = s.backend.ApplyBatchCtx(context.Background(), plan)
 	if err != nil && applied < len(plan.Statements) {
 		s.eng.RepairAllViews()
+		s.qcache.dropAll(s.eng.Version())
 	}
 	return rep, applied, err
 }

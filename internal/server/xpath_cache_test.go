@@ -14,7 +14,9 @@ import (
 // through the HTTP handler: first sight of a query is a miss that compiles,
 // repeats are hits, and with a tiny cache a third distinct query evicts the
 // least-recently-used program — all visible as server.xpath.cache.{hit,
-// miss,evict} and none of it changing query results.
+// miss,evict} and none of it changing query results. rewrite=0 keeps the
+// view-rewrite layer (and its own result cache) out of the way: this test
+// pins the tree-walk compile cache alone.
 func TestXPathCacheMetrics(t *testing.T) {
 	m := obs.New()
 	reg, err := NewRegistry(RegistryConfig{
@@ -45,7 +47,7 @@ func TestXPathCacheMetrics(t *testing.T) {
 	query := func(q string) XPathResponse {
 		t.Helper()
 		var xr XPathResponse
-		if st := getJSON(t, ts.URL+"/v1/db/default/xpath?q="+q, &xr); st != 200 {
+		if st := getJSON(t, ts.URL+"/v1/db/default/xpath?rewrite=0&q="+q, &xr); st != 200 {
 			t.Fatalf("GET xpath %q: status %d", q, st)
 		}
 		return xr
@@ -109,7 +111,7 @@ func TestXPathCacheMetrics(t *testing.T) {
 	// before the compile attempt) but never enters the cache, so nothing
 	// is evicted.
 	var xr XPathResponse
-	if st := getJSON(t, ts.URL+"/v1/db/default/xpath?q=/site[", &xr); st != 400 {
+	if st := getJSON(t, ts.URL+"/v1/db/default/xpath?rewrite=0&q=/site[", &xr); st != 400 {
 		t.Fatalf("malformed query: status %d, want 400", st)
 	}
 	if hit, miss, evict := counters(); hit != 1 || miss != 5 || evict != 2 {
